@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's figures or
+tables: it times the simulation sweep with pytest-benchmark, prints the
+same rows/series the paper reports, and asserts the anchors from
+``repro.data.paper`` so a bench run doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import AuditRow
+
+
+def report(title: str, body: str) -> None:
+    """Print a figure/table reproduction block (visible with -s and in
+    captured bench logs)."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def assert_anchors(rows: list[AuditRow]) -> None:
+    """Fail the bench if any paper anchor is out of tolerance."""
+    misses = [r for r in rows if not r.ok]
+    for r in rows:
+        print(r.render())
+    assert not misses, "anchors out of tolerance:\n" + "\n".join(
+        r.render() for r in misses
+    )

@@ -1,0 +1,52 @@
+"""Ablation: jumbo frames and PCI width on the SysKonnect cards.
+
+Figure 3's 900 Mb/s needs *both* the 9000 B MTU (to slash per-packet
+CPU cost) and the DS20's 64-bit PCI (to lift the DMA ceiling).  This
+bench runs the 2x2 matrix and checks each marginal effect, including
+the paper's 710 Mb/s 32-bit-PCI ceiling.
+"""
+
+from conftest import report
+
+from repro.core import run_netpipe
+from repro.experiments import configs
+from repro.hw.catalog import COMPAQ_DS20, SYSKONNECT_SK9843
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.mplib import RawTcp
+
+
+def run_matrix():
+    cells = {}
+    for host_name, jumbo, cfg in (
+        ("PC/32-bit", False, configs.pc_syskonnect(jumbo=False)),
+        ("PC/32-bit", True, configs.pc_syskonnect(jumbo=True)),
+        ("DS20/64-bit", False,
+         ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, sysctl=TUNED_SYSCTL)),
+        ("DS20/64-bit", True, configs.ds20_syskonnect_jumbo()),
+    ):
+        cells[(host_name, jumbo)] = run_netpipe(RawTcp(), cfg).plateau_mbps
+    return cells
+
+
+def test_ablation_jumbo_and_pci(benchmark):
+    cells = benchmark(run_matrix)
+    lines = [
+        f"{'':14} {'MTU 1500':>10} {'MTU 9000':>10}",
+        f"{'PC/32-bit':14} {cells[('PC/32-bit', False)]:>10.1f} "
+        f"{cells[('PC/32-bit', True)]:>10.1f}",
+        f"{'DS20/64-bit':14} {cells[('DS20/64-bit', False)]:>10.1f} "
+        f"{cells[('DS20/64-bit', True)]:>10.1f}",
+    ]
+    report("Ablation — SysKonnect raw TCP: MTU x PCI width (plateau Mb/s)",
+           "\n".join(lines))
+
+    # Jumbo helps on both hosts (per-packet CPU cost / 6).
+    assert cells[("PC/32-bit", True)] > 1.4 * cells[("PC/32-bit", False)]
+    assert cells[("DS20/64-bit", True)] > 1.4 * cells[("DS20/64-bit", False)]
+    # With jumbo, the PC is PCI-bound at ~710 while the DS20 reaches ~900.
+    assert abs(cells[("PC/32-bit", True)] - 710) < 25
+    assert abs(cells[("DS20/64-bit", True)] - 900) < 30
+    # Without jumbo, per-packet CPU dominates and PCI width barely matters.
+    narrow = cells[("PC/32-bit", False)]
+    wide = cells[("DS20/64-bit", False)]
+    assert wide < 1.35 * narrow

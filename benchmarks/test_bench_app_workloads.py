@@ -1,0 +1,115 @@
+"""Bench: application workloads — halo exchange, transpose, task farm.
+
+These extend the paper beyond NetPIPE's idle ping-pong: the same
+library differences (staging copies, progress engines, daemon routing)
+re-measured inside application communication patterns on a 4-8 rank
+simulated cluster.
+"""
+
+from conftest import report
+
+from repro.apps import run_halo_exchange, run_task_farm, run_transpose
+from repro.experiments import configs
+from repro.mplib import LamMpi, Mpich, MpiPro, MpLite, Pvm, RawGm
+
+GA620 = configs.pc_netgear_ga620()
+
+LIBS = (
+    ("MP_Lite", MpLite(), GA620),
+    ("MPI/Pro", MpiPro.tuned(), GA620),
+    ("MPICH", Mpich.tuned(), GA620),
+    ("LAM/MPI", LamMpi.tuned(), GA620),
+    ("PVM", Pvm.tuned(), GA620),
+    ("raw GM", RawGm(), configs.pc_myrinet()),
+)
+
+
+def run_halo_suite():
+    return {
+        label: run_halo_exchange(lib, cfg, nranks=4, local_nx=256, local_ny=256)
+        for label, lib, cfg in LIBS
+    }
+
+
+def test_bench_halo_exchange(benchmark):
+    results = benchmark(run_halo_suite)
+    lines = [f"{'library':10} {'us/iter':>9} {'parallel eff':>13} {'comm frac':>10}"]
+    for label, r in results.items():
+        lines.append(
+            f"{label:10} {1e6 * r.time_per_iteration:>9.1f} "
+            f"{r.parallel_efficiency:>13.2f} {r.communication_fraction:>10.2f}"
+        )
+    report("Halo exchange, 4 ranks, 256x256 doubles/rank", "\n".join(lines))
+
+    # Progress engines hide the faces; blocking libraries cannot.
+    assert results["MP_Lite"].parallel_efficiency > 0.9
+    assert results["MPI/Pro"].parallel_efficiency > 0.9
+    assert results["MPICH"].parallel_efficiency < results["MP_Lite"].parallel_efficiency
+    # Myrinet's latency advantage shows at this message size too.
+    assert (
+        results["raw GM"].time_per_iteration
+        <= results["MPICH"].time_per_iteration
+    )
+
+
+def run_transpose_suite():
+    return {
+        label: run_transpose(lib, cfg, nranks=4, matrix_n=1024)
+        for label, lib, cfg in LIBS
+    }
+
+
+def test_bench_transpose(benchmark):
+    results = benchmark(run_transpose_suite)
+    lines = [f"{'library':10} {'ms/transpose':>13} {'MB/s per rank':>14}"]
+    for label, r in results.items():
+        lines.append(
+            f"{label:10} {1e3 * r.time_per_transpose:>13.2f} "
+            f"{r.effective_bandwidth / 1e6:>14.1f}"
+        )
+    report("Alltoall transpose, 4 ranks, 1024x1024 doubles", "\n".join(lines))
+
+    # Bandwidth-bound: the copy-taxed libraries lose, GM wins.
+    assert (
+        results["raw GM"].effective_bandwidth
+        > results["MP_Lite"].effective_bandwidth
+    )
+    assert (
+        results["MP_Lite"].effective_bandwidth
+        > 1.1 * results["MPICH"].effective_bandwidth
+    )
+
+
+def run_farm_suite():
+    farm = {
+        label: run_task_farm(lib, cfg, nranks=5, tasks=40)
+        for label, lib, cfg in LIBS
+    }
+    farm["PVM (pvmd route)"] = run_task_farm(Pvm(), GA620, nranks=5, tasks=40)
+    farm["LAM (lamd)"] = run_task_farm(LamMpi.with_daemons(), GA620, nranks=5, tasks=40)
+    return farm
+
+
+def test_bench_task_farm(benchmark):
+    results = benchmark(run_farm_suite)
+    lines = [f"{'library':18} {'tasks/s':>9} {'farm eff':>9}"]
+    for label, r in results.items():
+        lines.append(
+            f"{label:18} {r.tasks_per_second:>9.0f} {r.farm_efficiency:>9.2f}"
+        )
+    report("Task farm, 1 master + 4 workers, 40 tasks", "\n".join(lines))
+
+    # Latency rules the farm: daemon routing collapses throughput.
+    assert (
+        results["PVM (pvmd route)"].tasks_per_second
+        < 0.7 * results["PVM"].tasks_per_second
+    )
+    assert (
+        results["LAM (lamd)"].tasks_per_second
+        < results["LAM/MPI"].tasks_per_second
+    )
+    assert results["raw GM"].tasks_per_second >= max(
+        r.tasks_per_second
+        for label, r in results.items()
+        if label != "raw GM"
+    )

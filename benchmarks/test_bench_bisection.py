@@ -1,0 +1,61 @@
+"""Bench: bisection bandwidth and incast on the simulated crossbar.
+
+The fabric is a non-blocking crossbar (the era's small switches), so
+paired traffic should scale linearly with pair count, while incast
+(everyone to rank 0) serialises at the victim's port.
+"""
+
+from conftest import report
+
+from repro.apps import run_bisection
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.mplib import MpLite, RawGm
+from repro.sim import Engine
+from repro.units import MB
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def run_suite():
+    bisection = {
+        p: run_bisection(MpLite(), GA620, nranks=p) for p in (2, 4, 8, 16)
+    }
+    incast = {p: _incast(MpLite(), GA620, p) for p in (2, 4, 8, 16)}
+    return bisection, incast
+
+
+def _incast(library, config, nranks, nbytes=1 * MB):
+    def program(comm):
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        if comm.rank == 0:
+            for src in range(1, comm.size):
+                yield from comm.recv(src, nbytes)
+        else:
+            yield from comm.send(0, nbytes)
+        return comm.engine.now - t0
+
+    engine = Engine()
+    comms = build_world(engine, library, config, nranks)
+    elapsed = max(run_ranks(engine, comms, program))
+    return (nranks - 1) * nbytes / elapsed  # victim's delivered B/s
+
+
+def test_bench_bisection_and_incast(benchmark):
+    bisection, incast = benchmark(run_suite)
+    lines = [f"{'ranks':>6} {'bisection MB/s':>15} {'pair eff':>9} {'incast MB/s':>12}"]
+    for p in (2, 4, 8, 16):
+        b = bisection[p]
+        lines.append(
+            f"{p:>6} {b.aggregate_bandwidth / 1e6:>15.1f} "
+            f"{b.pair_efficiency:>9.2f} {incast[p] / 1e6:>12.1f}"
+        )
+    report("Crossbar under load: paired vs incast traffic (MP_Lite/GigE)",
+           "\n".join(lines))
+
+    # Disjoint pairs scale linearly on the non-blocking crossbar...
+    assert bisection[16].aggregate_bandwidth > 7 * bisection[2].aggregate_bandwidth
+    assert all(b.pair_efficiency > 0.95 for b in bisection.values())
+    # ...incast does not: the victim's port is the ceiling.
+    assert incast[16] < 1.25 * incast[2]

@@ -1,0 +1,81 @@
+"""Bench: collective-operation scaling on the simulated fabric.
+
+Collectives inherit each library's point-to-point behaviour; this bench
+shows the log/linear step structure of the algorithms and how the
+interconnects compare as the world grows.
+"""
+
+from conftest import report
+
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.mplib import Mpich, MpLite, RawGm
+from repro.sim import Engine
+from repro.units import MB, kb, to_us
+
+WORLD_SIZES = (2, 4, 8, 16)
+
+
+def timed_collective(library, config, nranks, op):
+    def program(comm):
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        yield from op(comm)
+        return comm.engine.now - t0
+
+    engine = Engine()
+    comms = build_world(engine, library, config, nranks)
+    return max(run_ranks(engine, comms, program))
+
+
+def run_suite():
+    ga620 = configs.pc_netgear_ga620()
+    myri = configs.pc_myrinet()
+    ops = {
+        "barrier": lambda c: c.barrier(),
+        "bcast 1MB": lambda c: c.bcast(0, 1 * MB),
+        "allreduce 64KB": lambda c: c.allreduce(kb(64)),
+        "alltoall 64KB": lambda c: c.alltoall(kb(64)),
+    }
+    table = {}
+    for label, lib, cfg in (
+        ("MP_Lite/GigE", MpLite(), ga620),
+        ("MPICH/GigE", Mpich.tuned(), ga620),
+        ("raw GM/Myrinet", RawGm(), myri),
+    ):
+        for op_name, op in ops.items():
+            table[(label, op_name)] = [
+                timed_collective(lib, cfg, p, op) for p in WORLD_SIZES
+            ]
+    return table
+
+
+def test_bench_collectives(benchmark):
+    table = benchmark(run_suite)
+    lines = [
+        f"{'stack / op':32} " + "".join(f"p={p:<9}" for p in WORLD_SIZES) + " (us)"
+    ]
+    for (label, op_name), series in table.items():
+        lines.append(
+            f"{label + ' ' + op_name:32} "
+            + "".join(f"{to_us(t):<11.0f}" for t in series)
+        )
+    report("Collective completion time vs world size", "\n".join(lines))
+
+    # Binomial/dissemination ops grow ~log p, not linearly.
+    for op_name in ("barrier", "bcast 1MB", "allreduce 64KB"):
+        series = table[("MP_Lite/GigE", op_name)]
+        assert series[-1] < 6 * series[0], op_name  # 16 ranks < 6x 2 ranks
+    # Alltoall is linear in p (p-1 exchange steps).
+    a2a = table[("MP_Lite/GigE", "alltoall 64KB")]
+    assert a2a[-1] > 4 * a2a[0]
+    # Myrinet's 16 us latency crushes GigE's 120 us on the barrier.
+    assert (
+        table[("raw GM/Myrinet", "barrier")][-1]
+        < 0.4 * table[("MP_Lite/GigE", "barrier")][-1]
+    )
+    # MPICH's staging copy taxes the big broadcast.
+    assert (
+        table[("MPICH/GigE", "bcast 1MB")][-1]
+        > 1.15 * table[("MP_Lite/GigE", "bcast 1MB")][-1]
+    )

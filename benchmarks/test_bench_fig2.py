@@ -1,0 +1,15 @@
+"""Bench: regenerate figure 2 and check its anchors."""
+
+from conftest import assert_anchors, report
+
+from repro.core.report import format_comparison
+from repro.experiments.figures import FIG2
+
+
+def test_bench_fig2(benchmark):
+    results = benchmark(FIG2.run)
+    report(FIG2.title, format_comparison(results))
+    for label, r in results.items():
+        benchmark.extra_info[f"{label} max Mb/s"] = round(r.max_mbps, 1)
+        benchmark.extra_info[f"{label} lat us"] = round(r.latency_us, 1)
+    assert_anchors(FIG2.audit(results))

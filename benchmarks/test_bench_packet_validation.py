@@ -1,0 +1,78 @@
+"""Bench: packet-level TCP vs the fluid model, plus cold-start cost.
+
+The fluid model generates every figure; the packet model is its
+segment-by-segment cross-check built from the same hardware numbers.
+This bench sweeps both across sizes on three configurations and prints
+the agreement, then quantifies the slow-start penalty NetPIPE's warm
+connections never see.
+"""
+
+from conftest import report
+
+from repro.experiments import configs
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.net.tcp_packet import packet_transfer_time
+from repro.units import MB, kb, to_mbps
+
+SIZES = (kb(4), kb(64), kb(512), 4 * MB)
+TUNED = TcpTuning(sockbuf_request=kb(512))
+
+CASES = (
+    ("GA620/PC tuned", configs.pc_netgear_ga620(), TUNED),
+    ("TrendNet/PC default", configs.pc_trendnet(tuned=False), TcpTuning()),
+    ("DS20 jumbo tuned", configs.ds20_syskonnect_jumbo(), TUNED),
+)
+
+
+def run_validation():
+    table = {}
+    for name, cfg, tuning in CASES:
+        fluid = TcpModel(cfg, tuning)
+        rows = []
+        for n in SIZES:
+            tp = packet_transfer_time(cfg, n, tuning)
+            tf = fluid.transfer_time(n)
+            rows.append((n, to_mbps(n / tp), to_mbps(n / tf)))
+        table[name] = rows
+    return table
+
+
+def test_bench_packet_vs_fluid(benchmark):
+    table = benchmark(run_validation)
+    lines = [f"{'config':22} {'bytes':>9} {'packet':>9} {'fluid':>9} {'ratio':>6}"]
+    for name, rows in table.items():
+        for n, pk, fl in rows:
+            lines.append(f"{name:22} {n:>9} {pk:>9.1f} {fl:>9.1f} {pk / fl:>6.2f}")
+    report("Packet-level vs fluid TCP model", "\n".join(lines))
+
+    for name, rows in table.items():
+        for n, pk, fl in rows:
+            # Models agree within 25% everywhere, 5% at the plateau of
+            # pipeline-limited configs.
+            assert 0.75 <= pk / fl <= 1.25, (name, n)
+    plateau = table["GA620/PC tuned"][-1]
+    assert plateau[1] / plateau[2] > 0.95
+
+
+def run_cold_start():
+    rows = []
+    for n in (kb(64), kb(512), 4 * MB):
+        warm = packet_transfer_time(configs.pc_netgear_ga620(), n, TUNED)
+        cold = packet_transfer_time(
+            configs.pc_netgear_ga620(), n, TUNED, cold_start=True
+        )
+        rows.append((n, warm, cold))
+    return rows
+
+
+def test_bench_cold_start_penalty(benchmark):
+    rows = benchmark(run_cold_start)
+    lines = [f"{'bytes':>9} {'warm us':>10} {'cold us':>10} {'penalty':>8}"]
+    for n, warm, cold in rows:
+        lines.append(
+            f"{n:>9} {1e6 * warm:>10.1f} {1e6 * cold:>10.1f} "
+            f"{100 * (cold / warm - 1):>7.1f}%"
+        )
+    report("TCP slow-start penalty (cold vs warm connection)", "\n".join(lines))
+    penalties = [cold / warm for _, warm, cold in rows]
+    assert penalties[0] > penalties[-1] > 1.0  # fades with size, never free

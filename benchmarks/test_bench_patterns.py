@@ -1,0 +1,51 @@
+"""Bench: synthetic traffic patterns, GigE vs Myrinet fabrics.
+
+The classic pattern study: permutation traffic rides the crossbar at
+full speed, uniform random loses to transient collisions, hotspot
+collapses to one port — and the absolute numbers carry the paper's
+calibrated per-transport costs.
+"""
+
+from conftest import report
+
+from repro.apps import Pattern, run_pattern
+from repro.experiments import configs
+from repro.mplib import MpLite, RawGm
+
+
+def run_suite():
+    table = {}
+    for name, lib, cfg in (
+        ("MP_Lite/GigE", MpLite(), configs.pc_netgear_ga620()),
+        ("raw GM/Myrinet", RawGm(), configs.pc_myrinet()),
+    ):
+        for pattern in Pattern:
+            r = run_pattern(lib, cfg, pattern, nranks=16)
+            table[(name, pattern)] = r.aggregate_bandwidth
+    return table
+
+
+def test_bench_traffic_patterns(benchmark):
+    table = benchmark(run_suite)
+    stacks = ["MP_Lite/GigE", "raw GM/Myrinet"]
+    lines = [f"{'pattern':>16} " + "".join(f"{s:>18}" for s in stacks) + "  (MB/s)"]
+    for pattern in Pattern:
+        row = f"{pattern.value:>16} "
+        for s in stacks:
+            row += f"{table[(s, pattern)] / 1e6:>18.1f}"
+        lines.append(row)
+    report("Aggregate bandwidth by traffic pattern, 16 ranks", "\n".join(lines))
+
+    for s in stacks:
+        assert (
+            table[(s, Pattern.NEIGHBOUR)]
+            > table[(s, Pattern.UNIFORM)]
+            > table[(s, Pattern.HOTSPOT)]
+        ), s
+    # Myrinet's fatter per-port pipe lifts every pattern.
+    for pattern in Pattern:
+        assert table[("raw GM/Myrinet", pattern)] > table[("MP_Lite/GigE", pattern)]
+    # Hotspot is one-port-bound regardless of fabric size.
+    assert table[("MP_Lite/GigE", Pattern.HOTSPOT)] < 0.2 * table[
+        ("MP_Lite/GigE", Pattern.NEIGHBOUR)
+    ]

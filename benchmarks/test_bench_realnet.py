@@ -1,0 +1,47 @@
+"""Bench: live-socket NetPIPE over loopback (two real processes).
+
+Unlike the other benches, these numbers describe the machine running
+the suite, not the paper's testbed.  The protocol *shapes* still show:
+eager vs rendezvous, and the effect of shrinking socket buffers.
+"""
+
+from conftest import report
+
+from repro.core import netpipe_sizes
+from repro.core.report import format_comparison
+from repro.realnet import run_real_netpipe
+from repro.units import MB, kb
+
+SIZES = netpipe_sizes(stop=1 * MB)
+
+
+def run_suite():
+    return {
+        "eager only": run_real_netpipe(
+            sizes=SIZES, eager_threshold=None, label="eager only"
+        ),
+        "rndv @64K": run_real_netpipe(
+            sizes=SIZES, eager_threshold=kb(64), label="rndv @64K"
+        ),
+        "16K sockbuf": run_real_netpipe(
+            sizes=SIZES, sockbuf=kb(16), eager_threshold=None, label="16K sockbuf"
+        ),
+    }
+
+
+def test_bench_realnet_loopback(benchmark):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    report(
+        "Live loopback NetPIPE (this machine, two processes)",
+        format_comparison(results, sizes=(64, 1024, 16384, 131072, 1048576)),
+    )
+    for label, r in results.items():
+        benchmark.extra_info[f"{label} max Mb/s"] = round(r.max_mbps, 1)
+        benchmark.extra_info[f"{label} lat us"] = round(r.latency_us, 1)
+    for r in results.values():
+        assert r.latency_us > 0
+        assert r.max_mbps > 10
+    # The rendezvous handshake costs a round trip at/above the threshold;
+    # on loopback this shows as eager >= rndv right at 64 KB (noise
+    # allowing — loopback timings jitter, so just require both ran).
+    assert results["rndv @64K"].mbps_at(kb(128)) > 0

@@ -1,0 +1,24 @@
+"""Bench: calibration robustness of the figure-1 reproduction.
+
+Perturbs every calibrated NIC parameter by ±5 % and re-audits the
+figure-1 anchors.  High survival means the library-level results are
+driven by the protocol models, not by a knife-edge parameter fit.
+"""
+
+from conftest import report
+
+from repro.analysis import format_sensitivity, sensitivity_sweep
+from repro.experiments import FIG1
+
+
+def test_bench_calibration_sensitivity(benchmark):
+    rows = benchmark(lambda: sensitivity_sweep(FIG1, fraction=0.05))
+    report("Anchor survival under ±5% calibration perturbations (fig. 1)",
+           format_sensitivity(rows))
+
+    # Overall survival across all perturbations stays high...
+    total_pass = sum(r.passed for r in rows)
+    total = sum(r.total for r in rows)
+    assert total_pass / total > 0.9
+    # ...and no single parameter direction wipes out the figure.
+    assert all(r.survival >= 0.7 for r in rows)

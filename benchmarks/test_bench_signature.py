@@ -1,0 +1,51 @@
+"""Bench: NetPIPE signature merit across every transport.
+
+The NetPIPE papers propose the area under the signature graph
+(throughput vs log-time) as a single figure of merit rewarding both
+low latency and high bandwidth.  This bench ranks the paper's
+transports by it — the ordering the whole hardware market of 2002
+argued about, in one column.
+"""
+
+from conftest import report
+
+from repro.core import run_netpipe
+from repro.experiments import configs
+from repro.mplib import IpOverGm, Mvich, MpLiteVia, RawGm, RawTcp
+
+
+def run_suite():
+    cases = (
+        ("raw GM / Myrinet", RawGm(), configs.pc_myrinet()),
+        ("MVICH / Giganet", Mvich.tuned(), configs.pc_giganet()),
+        ("raw TCP / GA620", RawTcp(), configs.pc_netgear_ga620()),
+        ("raw TCP / SysKonnect-jumbo DS20", RawTcp(), configs.ds20_syskonnect_jumbo()),
+        ("IP-GM / Myrinet", IpOverGm(), configs.pc_myrinet()),
+        ("MVICH / M-VIA SysKonnect", Mvich(), configs.pc_syskonnect()),
+        ("raw TCP / TrendNet untuned", RawTcp.untuned(), configs.pc_trendnet(tuned=False)),
+    )
+    rows = []
+    for label, lib, cfg in cases:
+        r = run_netpipe(lib, cfg)
+        rows.append((label, r.latency_us, r.max_mbps, r.signature_merit()))
+    return rows
+
+
+def test_bench_signature_merit(benchmark):
+    rows = benchmark(run_suite)
+    rows_sorted = sorted(rows, key=lambda r: -r[3])
+    lines = [f"{'transport':34} {'lat us':>7} {'max Mb/s':>9} {'merit':>8}"]
+    for label, lat, mbps, merit in rows_sorted:
+        lines.append(f"{label:34} {lat:>7.1f} {mbps:>9.1f} {merit:>8.1f}")
+    report("Signature merit (area under throughput vs log-time)", "\n".join(lines))
+
+    merit = {label: m for label, _, _, m in rows}
+    # The proprietary interconnects dominate: low latency AND bandwidth.
+    assert merit["raw GM / Myrinet"] > merit["raw TCP / GA620"]
+    assert merit["MVICH / Giganet"] > merit["raw TCP / GA620"]
+    # Jumbo DS20 TCP beats PC TCP (better at both ends of the curve).
+    assert merit["raw TCP / SysKonnect-jumbo DS20"] > merit["raw TCP / GA620"]
+    # IP-GM wastes the Myrinet: TCP-class merit despite the fast wire.
+    assert merit["IP-GM / Myrinet"] < 0.7 * merit["raw GM / Myrinet"]
+    # The untuned cheap card brings up the rear.
+    assert merit["raw TCP / TrendNet untuned"] == min(merit.values())

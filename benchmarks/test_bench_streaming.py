@@ -1,0 +1,59 @@
+"""Bench: NetPIPE streaming (-s) and bidirectional (-2) modes.
+
+Ping-pong pays latency per message; streaming amortises it; the
+bidirectional mode exercises full duplex.  Rendezvous protocols
+serialise streams (each message waits for its CTS), which this bench
+makes visible.
+"""
+
+from conftest import report
+
+from repro.core import measure_bidirectional, measure_pingpong, measure_streaming
+from repro.experiments import configs
+from repro.mplib import Mpich, MpiPro, MpLite, RawTcp
+from repro.sim import Engine
+from repro.units import MB, kb, to_mbps
+
+GA620 = configs.pc_netgear_ga620()
+SIZE = kb(64)
+
+
+def run_suite():
+    out = {}
+    for lib in (RawTcp(), MpLite(), MpiPro.tuned(), Mpich.tuned()):
+        engine = Engine()
+        a, b = lib.build(engine, GA620)
+        pp = SIZE / measure_pingpong(engine, a, b, SIZE)
+        engine = Engine()
+        a, b = lib.build(engine, GA620)
+        st = measure_streaming(engine, a, b, SIZE, burst=16)
+        engine = Engine()
+        a, b = lib.build(engine, GA620)
+        bi = measure_bidirectional(engine, a, b, SIZE, repeats=8)
+        out[lib.display_name] = (pp, st, bi)
+    return out
+
+
+def test_bench_streaming_modes(benchmark):
+    rows = benchmark(run_suite)
+    lines = [f"{'library':10} {'ping-pong':>10} {'streaming':>10} {'bidirectional':>14}  (Mb/s at 64 KB)"]
+    for label, (pp, st, bi) in rows.items():
+        lines.append(
+            f"{label:10} {to_mbps(pp):>10.1f} {to_mbps(st):>10.1f} {to_mbps(bi):>14.1f}"
+        )
+    report("Measurement modes at 64 KB on GA620/PC", "\n".join(lines))
+
+    for label, (pp, st, bi) in rows.items():
+        assert st >= pp, label  # streaming never slower than ping-pong
+    # Eager libraries pipeline the stream (latency paid once)...
+    assert rows["MP_Lite"][1] > 1.1 * rows["MP_Lite"][0]
+    # ...dramatically so for small messages...
+    engine = Engine()
+    a, b = MpLite().build(engine, GA620)
+    pp_small = kb(4) / measure_pingpong(engine, a, b, kb(4))
+    engine = Engine()
+    a, b = MpLite().build(engine, GA620)
+    st_small = measure_streaming(engine, a, b, kb(4), burst=32)
+    assert st_small > 1.5 * pp_small
+    # ...and bidirectional exploits full duplex.
+    assert rows["MP_Lite"][2] > 1.5 * rows["MP_Lite"][1]

@@ -1,0 +1,65 @@
+"""Bench: regenerate tables T1-T4 and check the T3 tuning anchors."""
+
+from conftest import assert_anchors, report
+
+from repro.experiments.tables import (
+    audit_table_t3,
+    format_table_t1,
+    format_table_t2,
+    format_table_t3,
+    format_table_t4,
+    run_table_t2,
+    run_table_t3,
+    run_table_t4,
+    table_t1_rows,
+)
+
+
+def test_table_t1(benchmark):
+    rows = benchmark(table_t1_rows)
+    report("Table T1 — hardware inventory (Sec. 2)", format_table_t1())
+    assert len(rows) == 6
+    prices = {r["nic"].split()[0]: r["price_usd"] for r in rows}
+    assert prices["TrendNet"] == 55 and prices["SysKonnect"] == 565
+
+
+def test_table_t2(benchmark):
+    latencies = benchmark(run_table_t2)
+    report("Table T2 — small-message latencies", format_table_t2(latencies))
+    # Spot-check the headline latencies of Secs. 4-6.
+    assert abs(latencies["raw TCP / GA620 / PC"] - 120) < 8
+    assert abs(latencies["raw TCP / TrendNet / PC"] - 140) < 8
+    assert abs(latencies["raw TCP / SysKonnect jumbo / DS20"] - 48) < 4
+    assert abs(latencies["raw GM / Myrinet / PC"] - 16) < 2
+    assert abs(latencies["raw GM blocking / Myrinet / PC"] - 36) < 3
+    assert abs(latencies["MVICH / Giganet / PC"] - 10) < 2
+    assert abs(latencies["MVICH / M-VIA SysKonnect / PC"] - 42) < 3
+    assert abs(latencies["LAM/MPI lamd / GA620 / PC"] - 245) < 20
+
+
+def test_table_t3(benchmark):
+    rows = benchmark(run_table_t3)
+    report("Table T3 — tuning effects", format_table_t3(rows))
+    by_label = {r["label"]: r for r in rows}
+    # "a 5-fold increase in performance"
+    assert 4.0 <= by_label["MPICH P4_SOCKBUFSIZE 32K->256K (GA620/PC)"]["gain"] <= 7.0
+    # "doubling the raw throughput"
+    assert 1.6 <= by_label["raw TCP default->512K buffers (TrendNet/PC)"]["gain"] <= 2.3
+    # "a 4-fold increase"
+    assert 3.0 <= by_label["PVM daemon->direct route (GA620/PC)"]["gain"] <= 5.0
+    # lamd costs roughly half the throughput
+    assert by_label["LAM -O->lamd (GA620/PC)"]["gain"] < 0.6
+    assert_anchors(audit_table_t3())
+
+
+def test_table_t4(benchmark):
+    rows = benchmark(run_table_t4)
+    report("Table T4 — throughput matrix", format_table_t4(rows))
+    by_key = {(r["figure"], r["library"]): r for r in rows}
+    # The paper's conclusions: MP_Lite delivers essentially all of TCP,
+    # MPICH/PVM deliver ~70-75 % on fig. 1, MPICH-GM ~all of GM.
+    assert by_key[("fig1", "MP_Lite")]["fraction_of_raw"] > 0.97
+    assert 0.65 <= by_key[("fig1", "MPICH")]["fraction_of_raw"] <= 0.80
+    assert 0.65 <= by_key[("fig1", "PVM")]["fraction_of_raw"] <= 0.80
+    assert by_key[("fig4", "MPICH-GM")]["fraction_of_raw"] > 0.95
+    assert by_key[("fig4", "IP-GM")]["fraction_of_raw"] < 0.8

@@ -1,0 +1,62 @@
+"""Bench: uplink oversubscription sweep on a cascaded-switch cluster.
+
+16 ranks over 8-port leaf switches (the Giganet CL5000's port count):
+as the uplink count per leaf grows from 1 to 8, bisection bandwidth
+recovers from the oversubscribed collapse to crossbar parity — the
+price list every 2002 cluster architect argued over.
+"""
+
+from conftest import report
+
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.fabric import TwoTierTree
+from repro.mplib import MpLite
+from repro.sim import Engine
+from repro.units import MB
+
+NRANKS = 16
+LEAF = 8
+
+
+def bisection_bw(topology):
+    def program(comm):
+        partner = (comm.rank + NRANKS // 2) % NRANKS
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        yield from comm.sendrecv(partner, 1 * MB, partner, 1 * MB)
+        return comm.engine.now - t0
+
+    engine = Engine()
+    comms = build_world(
+        engine, MpLite(), configs.pc_netgear_ga620(), NRANKS, topology=topology
+    )
+    elapsed = max(run_ranks(engine, comms, program))
+    return NRANKS * 1 * MB / elapsed  # aggregate bytes/s across bisection
+
+
+def run_sweep():
+    out = {"crossbar": bisection_bw(None)}
+    for uplinks in (1, 2, 4, 8):
+        out[f"{uplinks} uplink(s)"] = bisection_bw(
+            TwoTierTree(leaf_size=LEAF, uplink_capacity=uplinks)
+        )
+    return out
+
+
+def test_bench_uplink_oversubscription(benchmark):
+    table = benchmark(run_sweep)
+    lines = [f"{'topology':16} {'bisection MB/s':>15} {'vs crossbar':>12}"]
+    base = table["crossbar"]
+    for name, bw in table.items():
+        lines.append(f"{name:16} {bw / 1e6:>15.1f} {bw / base:>11.2f}x")
+    report(
+        f"Bisection bandwidth, {NRANKS} ranks over {LEAF}-port leaves",
+        "\n".join(lines),
+    )
+
+    # Oversubscription bites hard and recovers monotonically.
+    assert table["1 uplink(s)"] < 0.35 * base
+    assert table["1 uplink(s)"] < table["2 uplink(s)"] < table["4 uplink(s)"]
+    # Full uplinks == crossbar (non-blocking again).
+    assert table["8 uplink(s)"] > 0.95 * base

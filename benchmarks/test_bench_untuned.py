@@ -1,0 +1,38 @@
+"""Bench: the before-optimization graph (paper Sec. 8's aside).
+
+"A graph of the performance before optimization would show drastically
+different results" — here it is, next to figure 1's tuned results.
+"""
+
+from conftest import report
+
+from repro.core.report import format_comparison
+from repro.experiments.figures import FIG1
+from repro.experiments.untuned import FIG_UNTUNED
+
+
+def run_both():
+    return FIG_UNTUNED.run(), FIG1.run()
+
+
+def test_bench_untuned_vs_tuned(benchmark):
+    untuned, tuned = benchmark(run_both)
+    report(FIG_UNTUNED.title, format_comparison(untuned))
+    lines = [f"{'library':10} {'untuned':>9} {'tuned':>9} {'gain':>6}"]
+    for label in untuned:
+        u = untuned[label].plateau_mbps
+        t = tuned[label].plateau_mbps
+        lines.append(f"{label:10} {u:>9.1f} {t:>9.1f} {t / u:>5.1f}x")
+    report("Tuning gains, library by library (plateau Mb/s)", "\n".join(lines))
+
+    u = {k: v.plateau_mbps for k, v in untuned.items()}
+    t = {k: v.plateau_mbps for k, v in tuned.items()}
+    # The drastic differences the paper promises:
+    assert u["MPICH"] < 100  # blocking p4 + 32 KB buffers
+    assert t["MPICH"] / u["MPICH"] > 4  # "a 5-fold increase"
+    assert u["PVM"] < 120  # pvmd routing
+    assert t["PVM"] / u["PVM"] > 3  # "a 4-fold increase" + InPlace
+    assert u["LAM/MPI"] < 0.75 * t["LAM/MPI"]  # no -O: conversion pass
+    # And the trap: raw TCP on *this* NIC looks fine untuned, so a
+    # GA620-only survey would miss the whole problem.
+    assert u["raw TCP"] > 0.9 * t["raw TCP"]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Beyond ping-pong: application workloads on a simulated cluster.
+
+The paper warns that NetPIPE numbers are an upper bound and predicts
+that progress engines (MPI/Pro's thread, MP_Lite's SIGIO handler) "will
+keep data flowing more readily" in real applications.  This example
+runs three application patterns on a 4-8 rank simulated GigE cluster
+and shows exactly where each library's NetPIPE-invisible behaviour
+bites:
+
+* overlap probe     — isend / compute / wait
+* 2-D halo exchange — the era's canonical stencil workload
+* task farm         — master/worker, latency- and daemon-bound
+
+Run:  python examples/cluster_applications.py
+"""
+
+from repro.apps import run_halo_exchange, run_overlap_probe, run_task_farm
+from repro.experiments import configs
+from repro.mplib import LamMpi, Mpich, MpiPro, MpLite, Pvm
+
+
+def main() -> None:
+    ga620 = configs.pc_netgear_ga620()
+    libs = [MpLite(), MpiPro.tuned(), Mpich.tuned(), LamMpi.tuned(), Pvm.tuned()]
+
+    print("Overlap efficiency (1 = compute fully hides communication):")
+    for lib in libs:
+        r = run_overlap_probe(lib, ga620)
+        bar = "#" * int(30 * r.overlap_efficiency)
+        print(f"  {lib.display_name[:24]:26s} {r.overlap_efficiency:5.2f}  {bar}")
+
+    print("\nHalo exchange, 4 ranks, 256x256 doubles per rank:")
+    print(f"  {'library':26s} {'us/iter':>9} {'parallel eff':>13}")
+    for lib in libs:
+        r = run_halo_exchange(lib, ga620, nranks=4)
+        print(
+            f"  {lib.display_name[:24]:26s} {1e6 * r.time_per_iteration:9.1f} "
+            f"{r.parallel_efficiency:13.2f}"
+        )
+
+    print("\nTask farm (1 master + 4 workers, 40 tasks of 2 ms):")
+    farm_libs = libs + [Pvm(), LamMpi.with_daemons()]
+    names = [l.display_name for l in libs] + ["PVM via pvmd", "LAM via lamd"]
+    for name, lib in zip(names, farm_libs):
+        r = run_task_farm(lib, ga620)
+        print(f"  {name[:26]:28s} {r.tasks_per_second:7.0f} tasks/s "
+              f"(efficiency {r.farm_efficiency:.2f})")
+
+    print(
+        "\nReading: NetPIPE ranks these libraries within ~25% of each "
+        "other, but the blocking-progress designs lose a further chunk "
+        "in overlap-dependent workloads, and daemon routing — harmless "
+        "in a bandwidth test — halves a latency-bound task farm."
+    )
+
+
+if __name__ == "__main__":
+    main()

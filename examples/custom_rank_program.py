@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Write your own parallel program against the communicator API.
+
+Everything in :mod:`repro.apps` is built from the same five verbs —
+``send``/``recv``/``isend``/``wait``/``compute`` plus the collectives —
+and so can your own workload.  This example implements a distributed
+conjugate-gradient-shaped iteration (matvec halo + two allreduces per
+step, the communication skeleton of every Krylov solver) from scratch
+and compares the libraries on it.
+
+Run:  python examples/custom_rank_program.py
+"""
+
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.mplib import Mpich, MpiPro, MpLite, RawGm
+from repro.sim import Engine
+from repro.units import kb
+
+
+def cg_like_program(iterations=20, halo_bytes=kb(32), dot_bytes=8,
+                    matvec_seconds=1.2e-3, axpy_seconds=0.4e-3):
+    """A CG iteration skeleton: halo exchange, matvec, two dot-product
+    allreduces, vector updates."""
+
+    def program(comm):
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        for _ in range(iterations):
+            # 1-D matvec halo: exchange boundary strips both ways.
+            sends = [comm.isend(left, halo_bytes), comm.isend(right, halo_bytes)]
+            recvs = [comm.irecv(left, halo_bytes), comm.irecv(right, halo_bytes)]
+            yield from comm.compute(matvec_seconds)  # interior matvec
+            yield from comm.waitall(recvs)
+            yield from comm.waitall(sends)
+            # Two dot products (alpha, beta): tiny latency-bound allreduces.
+            yield from comm.allreduce(dot_bytes)
+            yield from comm.compute(axpy_seconds)
+            yield from comm.allreduce(dot_bytes)
+        yield from comm.barrier()
+        return (comm.engine.now - t0) / iterations
+
+    return program
+
+
+def main() -> None:
+    ga620 = configs.pc_netgear_ga620()
+    cases = [
+        ("MP_Lite / GigE", MpLite(), ga620),
+        ("MPI/Pro / GigE", MpiPro.tuned(), ga620),
+        ("MPICH / GigE", Mpich.tuned(), ga620),
+        ("raw GM / Myrinet", RawGm(), configs.pc_myrinet()),
+    ]
+    print("CG-style iteration time, 8 ranks (matvec 1.2 ms + 2 allreduces):\n")
+    print(f"{'stack':20} {'us/iteration':>13} {'vs best':>8}")
+    times = {}
+    for label, lib, cfg in cases:
+        engine = Engine()
+        comms = build_world(engine, lib, cfg, 8)
+        per_iter = max(run_ranks(engine, comms, cg_like_program()))
+        times[label] = per_iter
+    best = min(times.values())
+    for label, per_iter in times.items():
+        print(f"{label:20} {1e6 * per_iter:>13.1f} {per_iter / best:>7.2f}x")
+    print(
+        "\nThe dot-product allreduces are pure latency: Myrinet's 16 us "
+        "hops beat the 120 us GigE hops log2(8)=3 times per reduction, "
+        "twice per iteration — a solver-speed difference no bandwidth "
+        "plot predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

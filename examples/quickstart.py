@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Quickstart: one NetPIPE sweep, three lines of API.
+
+Runs the paper's headline comparison — MPICH vs raw TCP on the Netgear
+GA620 Gigabit Ethernet cards between two Pentium-4 PCs — and prints the
+curve, the latency, and where the 25-30 % p4 staging-copy loss comes
+from.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import get_library, run_netpipe
+from repro.core.report import ascii_profile, format_result
+from repro.experiments import configs
+
+
+def main() -> None:
+    config = configs.pc_netgear_ga620()
+
+    raw = run_netpipe(get_library("raw-tcp"), config)
+    mpich = run_netpipe(get_library("mpich"), config)
+
+    print(format_result(mpich, every=8))
+    print()
+    print(ascii_profile(mpich))
+    print()
+    print(f"raw TCP : {raw.latency_us:6.1f} us latency, {raw.max_mbps:6.1f} Mb/s peak")
+    print(f"MPICH   : {mpich.latency_us:6.1f} us latency, {mpich.max_mbps:6.1f} Mb/s peak")
+    loss = 1 - mpich.max_mbps / raw.max_mbps
+    print(
+        f"\nMPICH delivers {100 * (1 - loss):.0f}% of raw TCP — the paper's "
+        f"25-30% loss from the p4 device's buffered-receive memcpy."
+    )
+
+
+if __name__ == "__main__":
+    main()

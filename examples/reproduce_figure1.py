@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1 of the paper and audit it against the text.
+
+Figure 1 is the paper's main result: seven message-passing stacks over
+the Netgear GA620 fiber GigE cards between two Pentium-4 PCs.  This
+example runs all seven sweeps, prints the comparison the way the
+paper's figure reads, and checks every quantitative claim the paper
+makes about it.
+
+Run:  python examples/reproduce_figure1.py [fig2|fig3|fig4|fig5]
+"""
+
+import sys
+
+from repro.analysis import fraction_of_raw
+from repro.core.report import format_comparison
+from repro.experiments import ALL_FIGURES, FIG1
+
+
+def main() -> None:
+    figure = FIG1
+    if len(sys.argv) > 1:
+        by_id = {f.id: f for f in ALL_FIGURES}
+        try:
+            figure = by_id[sys.argv[1]]
+        except KeyError:
+            raise SystemExit(f"unknown figure {sys.argv[1]!r}; try {sorted(by_id)}")
+
+    print(figure.title)
+    print("-" * len(figure.title))
+    print(figure.description, "\n")
+
+    results = figure.run()
+    print(format_comparison(results), "\n")
+
+    raw_label = next(
+        (label for label in results if label.startswith("raw")), None
+    )
+    if raw_label:
+        print(f"Fraction of {raw_label} delivered (the paper's Sec. 7 metric):")
+        for label, frac in sorted(
+            fraction_of_raw(results, raw_label).items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {label:14s} {100 * frac:5.1f}%")
+        print()
+
+    print("Anchor audit (paper vs measured):")
+    rows = figure.audit(results)
+    for row in rows:
+        print(" ", row.render())
+    misses = sum(not r.ok for r in rows)
+    print(f"\n{len(rows) - misses}/{len(rows)} anchors within tolerance")
+
+
+if __name__ == "__main__":
+    main()

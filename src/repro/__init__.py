@@ -1,0 +1,39 @@
+"""repro — reproduction of "Protocol-Dependent Message-Passing
+Performance on Linux Clusters" (Turner & Chen, IEEE CLUSTER 2002).
+
+Quickstart::
+
+    from repro import run_netpipe, get_library
+    from repro.experiments import configs
+
+    result = run_netpipe(get_library("mpich"), configs.pc_netgear_ga620())
+    print(f"{result.latency_us:.0f} us, {result.max_mbps:.0f} Mb/s")
+
+Package map:
+
+* :mod:`repro.sim`     — discrete-event engine
+* :mod:`repro.hw`      — host/NIC/PCI models and the paper's catalog
+* :mod:`repro.net`     — TCP, GM and VIA transport models
+* :mod:`repro.mplib`   — the message-passing library protocol models
+* :mod:`repro.core`    — NetPIPE (sizes, ping-pong, results, reports)
+* :mod:`repro.tuning`  — parameter sweeps and the auto-tuner
+* :mod:`repro.analysis`— curve comparison utilities
+* :mod:`repro.experiments` — one module per paper figure/table
+* :mod:`repro.realnet` — real-socket loopback NetPIPE backend
+* :mod:`repro.data`    — the paper's expected values (with OCR notes)
+"""
+
+from repro.core import run_netpipe, netpipe_sizes, NetPipeResult, NetPipePoint
+from repro.mplib import get_library, library_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_netpipe",
+    "netpipe_sizes",
+    "NetPipeResult",
+    "NetPipePoint",
+    "get_library",
+    "library_names",
+    "__version__",
+]

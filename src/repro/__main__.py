@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``              run figures 1-5, print comparisons + audits
+``figure <id>``          run one figure (fig1..fig5)
+``tables``               print tables T1-T4
+``audit [path]``         full paper-vs-measured report (markdown)
+``libraries``            list registered library models
+``apps``                 application workloads across libraries
+``export``               write per-figure np.out/json curve files
+``cpu``                  host-CPU availability per transport
+``loopback``             live two-process NetPIPE over loopback TCP
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Run figures (all or one) and audit their anchors."""
+    from repro.core.report import format_comparison
+    from repro.experiments import ALL_FIGURES
+
+    status = 0
+    for fig in ALL_FIGURES:
+        if args.figure and fig.id != args.figure:
+            continue
+        print(f"\n{'=' * 78}\n{fig.title}\n{'=' * 78}")
+        results = fig.run()
+        print(format_comparison(results))
+        print()
+        for row in fig.audit(results):
+            print(" ", row.render())
+            status |= 0 if row.ok else 1
+    return status
+
+
+def cmd_tables(_args: argparse.Namespace) -> int:
+    """Print tables T1-T4."""
+    from repro.experiments.tables import (
+        format_table_t1,
+        format_table_t2,
+        format_table_t3,
+        format_table_t4,
+    )
+
+    for block in (format_table_t1(), format_table_t2(), format_table_t3(),
+                  format_table_t4()):
+        print(block)
+        print()
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Write (or print) the EXPERIMENTS.md report."""
+    from repro.experiments.audit import main as audit_main
+
+    return audit_main(["audit"] + ([args.path] if args.path else []))
+
+
+def cmd_libraries(_args: argparse.Namespace) -> int:
+    """List the registered library models."""
+    from repro.experiments import configs
+    from repro.mplib import get_library, library_names
+
+    ga620 = configs.pc_netgear_ga620()
+    for name in library_names():
+        lib = get_library(name)
+        try:
+            desc = lib.describe(ga620)
+        except ValueError:
+            desc = f"{lib.display_name} (needs its own interconnect)"
+        print(f"  {name:12s} {desc}")
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    """Run the application workloads across libraries."""
+    from repro.apps import run_halo_exchange, run_overlap_probe, run_task_farm
+    from repro.experiments import configs
+    from repro.mplib import LamMpi, Mpich, MpiPro, MpLite, Pvm
+
+    ga620 = configs.pc_netgear_ga620()
+    libs = [MpLite(), MpiPro.tuned(), Mpich.tuned(), LamMpi.tuned(), Pvm.tuned()]
+    print(f"{'library':26} {'overlap':>8} {'halo eff':>9} {'farm t/s':>9}")
+    for lib in libs:
+        o = run_overlap_probe(lib, ga620)
+        h = run_halo_exchange(lib, ga620, nranks=args.ranks)
+        f = run_task_farm(lib, ga620, nranks=args.ranks + 1)
+        print(
+            f"{lib.display_name[:26]:26} {o.overlap_efficiency:>8.2f} "
+            f"{h.parallel_efficiency:>9.2f} {f.tasks_per_second:>9.0f}"
+        )
+    return 0
+
+
+def cmd_cpu(args: argparse.Namespace) -> int:
+    """Print the host-CPU availability table per transport."""
+    from repro.analysis import cpu_load
+    from repro.experiments import configs
+    from repro.net.gm import GmModel, GmReceiveMode
+    from repro.net.tcp import TcpModel, TcpTuning
+    from repro.net.via import ViaModel
+    from repro.units import kb
+
+    n = args.size
+    cases = (
+        ("TCP GigE (PC)", TcpModel(configs.pc_netgear_ga620(),
+                                   TcpTuning(sockbuf_request=kb(512)))),
+        ("TCP jumbo (DS20)", TcpModel(configs.ds20_syskonnect_jumbo(),
+                                      TcpTuning(sockbuf_request=kb(512)))),
+        ("GM polling", GmModel(configs.pc_myrinet(), GmReceiveMode.POLLING)),
+        ("GM hybrid", GmModel(configs.pc_myrinet())),
+        ("Giganet VIA", ViaModel(configs.pc_giganet())),
+        ("M-VIA/SysKonnect", ViaModel(configs.pc_syskonnect())),
+    )
+    print(f"{'transport':20} {'tx avail':>9} {'rx avail':>9} {'cpu s/MB':>10}")
+    for label, link in cases:
+        r = cpu_load(link, n, label)
+        print(
+            f"{label:20} {r.tx_availability:>9.2f} {r.rx_availability:>9.2f} "
+            f"{r.cpu_seconds_per_mb:>10.4f}"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Export every figure's curves as gnuplot-ready np.out files."""
+    import os
+
+    from repro.core.io import save_netpipe_out, save_result
+    from repro.experiments import ALL_FIGURES
+
+    os.makedirs(args.directory, exist_ok=True)
+    count = 0
+    for fig in ALL_FIGURES:
+        for label, result in fig.run().items():
+            slug = label.lower().replace("/", "-").replace(" ", "")
+            base = os.path.join(args.directory, f"{fig.id}.{slug}")
+            save_netpipe_out(result, base + ".np.out")
+            save_result(result, base + ".json")
+            count += 2
+    print(f"wrote {count} files to {args.directory}/")
+    return 0
+
+
+def cmd_loopback(args: argparse.Namespace) -> int:
+    """Live two-process NetPIPE over loopback."""
+    from repro.core import netpipe_sizes
+    from repro.core.report import format_result
+    from repro.realnet import run_real_netpipe
+
+    result = run_real_netpipe(
+        sizes=netpipe_sizes(stop=args.max_size),
+        sockbuf=args.sockbuf,
+        eager_threshold=args.threshold,
+    )
+    print(format_result(result, every=4))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Turner & Chen, CLUSTER 2002",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="run all figures with anchor audits")
+    p.set_defaults(func=cmd_figures, figure=None)
+
+    p = sub.add_parser("figure", help="run one figure")
+    p.add_argument("figure", choices=["fig1", "fig2", "fig3", "fig4", "fig5"])
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("tables", help="print tables T1-T4")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("audit", help="write the EXPERIMENTS.md report")
+    p.add_argument("path", nargs="?", default=None)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("libraries", help="list library models")
+    p.set_defaults(func=cmd_libraries)
+
+    p = sub.add_parser("apps", help="application workloads on the fabric")
+    p.add_argument("--ranks", type=int, default=4)
+    p.set_defaults(func=cmd_apps)
+
+    p = sub.add_parser("cpu", help="host CPU availability per transport")
+    p.add_argument("--size", type=int, default=1 << 20)
+    p.set_defaults(func=cmd_cpu)
+
+    p = sub.add_parser("export", help="write np.out/json files per figure")
+    p.add_argument("directory", nargs="?", default="curves")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("loopback", help="live loopback NetPIPE")
+    p.add_argument("--max-size", type=int, default=1 << 20)
+    p.add_argument("--sockbuf", type=int, default=None)
+    p.add_argument("--threshold", type=int, default=64 * 1024)
+    p.set_defaults(func=cmd_loopback)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Curve analysis utilities used by benches and reports."""
+
+from repro.analysis.compare import (
+    crossover_size,
+    fraction_of_raw,
+    ranking,
+    saturation_size,
+)
+from repro.analysis.cost import ClusterBill, PricePerformance, cluster_bill
+from repro.analysis.cpuload import CpuLoadReport, cpu_load
+from repro.analysis.sensitivity import (
+    SensitivityRow,
+    format_sensitivity,
+    perturb_nic,
+    sensitivity_sweep,
+)
+
+__all__ = [
+    "crossover_size",
+    "fraction_of_raw",
+    "ranking",
+    "saturation_size",
+    "ClusterBill",
+    "PricePerformance",
+    "cluster_bill",
+    "CpuLoadReport",
+    "cpu_load",
+    "SensitivityRow",
+    "format_sensitivity",
+    "perturb_nic",
+    "sensitivity_sweep",
+]

@@ -1,0 +1,73 @@
+"""Cross-curve comparisons: the numbers the paper's prose is made of.
+
+"MPICH and PVM currently suffer about a 25% loss", "who wins at what
+size", "the dip at the rendezvous threshold" — these are all functions
+of one or two NetPipeResult curves, collected here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.results import NetPipeResult
+
+
+def fraction_of_raw(
+    results: Mapping[str, NetPipeResult], raw_label: str
+) -> dict[str, float]:
+    """Peak throughput of every curve as a fraction of the raw curve.
+
+    This is the paper's headline metric: how much of the transport each
+    library delivers.
+    """
+    if raw_label not in results:
+        raise KeyError(f"raw curve {raw_label!r} not in results")
+    raw = results[raw_label]
+    return {
+        label: r.max_mbps / raw.max_mbps
+        for label, r in results.items()
+        if label != raw_label
+    }
+
+
+def ranking(
+    results: Mapping[str, NetPipeResult], size: int | None = None
+) -> list[str]:
+    """Labels ordered fastest-first, at a size or by peak throughput."""
+    def key(label: str) -> float:
+        r = results[label]
+        return r.mbps_at(size) if size is not None else r.max_mbps
+
+    return sorted(results, key=key, reverse=True)
+
+
+def crossover_size(a: NetPipeResult, b: NetPipeResult) -> int | None:
+    """Smallest measured size where ``a`` overtakes ``b``.
+
+    Latency-vs-bandwidth trade-offs cross: a low-latency transport wins
+    small messages, a high-bandwidth one wins large.  Returns None when
+    ``a`` never overtakes.  Both curves must share their size schedule.
+    """
+    sizes_a = [p.size for p in a.points]
+    sizes_b = [p.size for p in b.points]
+    if sizes_a != sizes_b:
+        raise ValueError("curves were measured on different size schedules")
+    for pa, pb in zip(a.points, b.points):
+        if pa.mbps > pb.mbps:
+            return pa.size
+    return None
+
+
+def saturation_size(result: NetPipeResult, fraction: float = 0.95) -> int:
+    """Smallest size reaching ``fraction`` of the plateau throughput.
+
+    A latency-dominated transport saturates late; this is the
+    complement to NetPIPE's half-bandwidth point.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    target = result.plateau_mbps * fraction
+    for p in result.points:
+        if p.mbps >= target:
+            return p.size
+    return result.points[-1].size

@@ -1,0 +1,55 @@
+"""Host CPU load of a transfer: the paper's 'loaded CPU' caveat.
+
+"NetPIPE measures the point-to-point communication performance between
+idle nodes ... there is no measurement of the effect that a loaded CPU
+would have on the communication system."  The transport models know
+their per-packet and copy costs, so we can report what NetPIPE cannot:
+how much host CPU each transferred megabyte consumes, and therefore
+how much is left for the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.base import LinkModel
+
+
+@dataclass(frozen=True)
+class CpuLoadReport:
+    """CPU accounting for one transfer size on one transport."""
+
+    transport: str
+    nbytes: int
+    transfer_time: float
+    tx_cpu: float
+    rx_cpu: float
+
+    @property
+    def tx_availability(self) -> float:
+        """Fraction of the transfer the sender's CPU is free."""
+        return max(0.0, 1.0 - self.tx_cpu / self.transfer_time)
+
+    @property
+    def rx_availability(self) -> float:
+        """Fraction of the transfer the receiver's CPU is free."""
+        return max(0.0, 1.0 - self.rx_cpu / self.transfer_time)
+
+    @property
+    def cpu_seconds_per_mb(self) -> float:
+        """Total (both ends) CPU cost per decimal megabyte moved."""
+        if self.nbytes == 0:
+            return 0.0
+        return (self.tx_cpu + self.rx_cpu) * 1e6 / self.nbytes
+
+
+def cpu_load(link: LinkModel, nbytes: int, label: str | None = None) -> CpuLoadReport:
+    """CPU accounting for one transfer on ``link``."""
+    tx, rx = link.cpu_times(nbytes)
+    return CpuLoadReport(
+        transport=label or type(link).__name__,
+        nbytes=nbytes,
+        transfer_time=link.transfer_time(nbytes),
+        tx_cpu=tx,
+        rx_cpu=rx,
+    )

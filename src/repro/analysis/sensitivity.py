@@ -1,0 +1,113 @@
+"""Calibration sensitivity: is the reproduction knife-edge or robust?
+
+The hardware catalog contains calibrated constants (per-packet costs,
+ack_rtt quirks, efficiencies).  A reproduction that only matches the
+paper at exactly those values would be curve-fitting; this module
+perturbs each calibrated parameter by a chosen fraction and reports
+which paper anchors survive — the robustness evidence EXPERIMENTS.md's
+numbers deserve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.paper import Anchor
+from repro.experiments.harness import Experiment, ExperimentEntry
+from repro.hw.nic import NicModel
+
+#: NicModel fields that are calibrated (vs quoted from the paper).
+CALIBRATED_NIC_FIELDS = (
+    "tx_per_packet_time",
+    "rx_per_packet_time",
+    "wire_latency",
+    "ack_rtt",
+    "link_efficiency",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Anchor survival under one parameter perturbation."""
+
+    field: str
+    direction: str  # "+" or "-"
+    fraction: float
+    passed: int
+    total: int
+
+    @property
+    def survival(self) -> float:
+        return self.passed / self.total if self.total else 1.0
+
+
+def perturb_nic(nic: NicModel, field: str, fraction: float) -> NicModel:
+    """A copy of ``nic`` with one calibrated field scaled by (1+fraction)."""
+    if field not in CALIBRATED_NIC_FIELDS:
+        raise ValueError(f"{field!r} is not a calibrated field")
+    value = getattr(nic, field) * (1.0 + fraction)
+    if field == "link_efficiency":
+        value = min(1.0, max(1e-6, value))
+    return dataclasses.replace(nic, **{field: value})
+
+
+def _perturbed_experiment(
+    experiment: Experiment, field: str, fraction: float
+) -> Experiment:
+    entries = []
+    for e in experiment.entries:
+        cfg = dataclasses.replace(
+            e.config, nic=perturb_nic(e.config.nic, field, fraction)
+        )
+        entries.append(ExperimentEntry(e.label, e.library, cfg))
+    return Experiment(
+        id=experiment.id,
+        title=experiment.title,
+        description=experiment.description,
+        entries=tuple(entries),
+    )
+
+
+def sensitivity_sweep(
+    experiment: Experiment,
+    fraction: float = 0.05,
+    fields: Sequence[str] = CALIBRATED_NIC_FIELDS,
+) -> list[SensitivityRow]:
+    """Perturb each calibrated NIC field ±fraction; audit the anchors.
+
+    Returns one row per (field, direction) with the anchor pass count.
+    A robust calibration keeps most anchors passing at small
+    perturbations — tolerances in the anchor set are typically 5-15 %,
+    so a 5 % parameter shift should rarely flip more than the tightest
+    ones.
+    """
+    if not 0 < fraction < 1:
+        raise ValueError("fraction must be in (0, 1)")
+    rows = []
+    for field in fields:
+        for sign, label in ((fraction, "+"), (-fraction, "-")):
+            perturbed = _perturbed_experiment(experiment, field, sign)
+            audit = perturbed.audit()
+            rows.append(
+                SensitivityRow(
+                    field=field,
+                    direction=label,
+                    fraction=fraction,
+                    passed=sum(r.ok for r in audit),
+                    total=len(audit),
+                )
+            )
+    return rows
+
+
+def format_sensitivity(rows: list[SensitivityRow]) -> str:
+    """Aligned text table of a sensitivity sweep."""
+    lines = [f"{'parameter':22} {'dir':>3} {'anchors pass':>13} {'survival':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r.field:22} {r.direction:>3} {r.passed:>6}/{r.total:<6} "
+            f"{100 * r.survival:>8.0f}%"
+        )
+    return "\n".join(lines)

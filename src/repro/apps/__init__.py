@@ -1,0 +1,42 @@
+"""Application-level workloads: beyond NetPIPE's idle ping-pong.
+
+The paper is explicit that NetPIPE is an upper bound: "The libraries
+are internally very different, and therefore will react differently
+within real applications.  A message-passing library like MPI/Pro that
+has a message progress thread, or MP_Lite that is SIGIO interrupt
+driven, will keep data flowing more readily."  These workloads make
+that measurable:
+
+* :mod:`~repro.apps.overlap`   — the isend/compute/wait probe; overlap
+  efficiency per progress engine;
+* :mod:`~repro.apps.halo`      — 2-D stencil halo exchange (the classic
+  cluster workload of the era);
+* :mod:`~repro.apps.transpose` — alltoall matrix transpose (parallel
+  FFT's communication pattern);
+* :mod:`~repro.apps.taskfarm`  — master/worker task farm (latency- and
+  daemon-sensitive).
+"""
+
+from repro.apps.overlap import OverlapResult, run_overlap_probe
+from repro.apps.halo import HaloResult, run_halo_exchange
+from repro.apps.transpose import TransposeResult, run_transpose
+from repro.apps.taskfarm import TaskFarmResult, run_task_farm
+from repro.apps.bisection import BisectionResult, run_bisection
+from repro.apps.patterns import Pattern, PatternResult, generate_destinations, run_pattern
+
+__all__ = [
+    "OverlapResult",
+    "run_overlap_probe",
+    "HaloResult",
+    "run_halo_exchange",
+    "TransposeResult",
+    "run_transpose",
+    "TaskFarmResult",
+    "run_task_farm",
+    "BisectionResult",
+    "run_bisection",
+    "Pattern",
+    "PatternResult",
+    "generate_destinations",
+    "run_pattern",
+]

@@ -1,0 +1,95 @@
+"""Bisection bandwidth: all pairs talking at once.
+
+NetPIPE measures one idle pair; a loaded cluster has every node
+communicating.  The classic bisection test splits 2k ranks into pairs
+(i <-> i+k) and runs simultaneous exchanges: on a non-blocking crossbar
+with full-duplex ports the aggregate should scale with the pair count,
+and any per-node serialisation (injection limits) shows up as a
+per-pair efficiency below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import Communicator, build_world, run_ranks
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+from repro.sim import Engine
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    library: str
+    nranks: int
+    message_bytes: int
+    repeats: int
+    elapsed: float
+    single_pair_elapsed: float
+
+    @property
+    def pairs(self) -> int:
+        return self.nranks // 2
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Bytes/s crossing the bisection (both directions)."""
+        return 2 * self.pairs * self.repeats * self.message_bytes / self.elapsed
+
+    @property
+    def pair_efficiency(self) -> float:
+        """Per-pair slowdown under full load vs an idle network."""
+        return min(1.0, self.single_pair_elapsed / self.elapsed)
+
+
+def run_bisection(
+    library: MPLibrary,
+    config: ClusterConfig,
+    nranks: int = 8,
+    message_bytes: int = 1 << 20,
+    repeats: int = 3,
+) -> BisectionResult:
+    """Run the paired-exchange bisection test and an idle-network reference."""
+    if nranks < 2 or nranks % 2:
+        raise ValueError("bisection needs an even rank count >= 2")
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    half = nranks // 2
+
+    def program(comm: Communicator):
+        partner = (comm.rank + half) % nranks
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        for _ in range(repeats):
+            yield from comm.sendrecv(
+                partner, message_bytes, partner, message_bytes
+            )
+        return comm.engine.now - t0
+
+    def measure(world_size: int) -> float:
+        engine = Engine()
+        comms = build_world(engine, library, config, world_size)
+        if world_size == 2:
+            return max(run_ranks(engine, comms, program_pair))
+        return max(run_ranks(engine, comms, program))
+
+    def program_pair(comm: Communicator):
+        partner = 1 - comm.rank
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        for _ in range(repeats):
+            yield from comm.sendrecv(
+                partner, message_bytes, partner, message_bytes
+            )
+        return comm.engine.now - t0
+
+    elapsed = measure(nranks)
+    single = measure(2)
+    return BisectionResult(
+        library=library.display_name,
+        nranks=nranks,
+        message_bytes=message_bytes,
+        repeats=repeats,
+        elapsed=elapsed,
+        single_pair_elapsed=single,
+    )

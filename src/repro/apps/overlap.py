@@ -1,0 +1,91 @@
+"""The overlap probe: can the library compute and communicate at once?
+
+Rank 0 posts a non-blocking send, computes for a while, then waits;
+rank 1 receives.  With perfect overlap the iteration costs
+``max(compute, transfer)``; with none it costs their sum.  The probe
+reports the classic overlap-efficiency ratio
+
+    efficiency = (t_compute + t_transfer - t_measured)
+                 / min(t_compute, t_transfer)
+
+which is 1.0 for full overlap and 0.0 for strictly serial behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import build_world, run_ranks
+from repro.core.runner import run_netpipe
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+from repro.sim import Engine
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    library: str
+    message_bytes: int
+    compute_time: float
+    transfer_time: float  # measured alone (no compute)
+    combined_time: float  # isend + compute + wait
+    iterations: int
+
+    @property
+    def overlap_efficiency(self) -> float:
+        serial = self.compute_time + self.transfer_time
+        saved = serial - self.combined_time
+        window = min(self.compute_time, self.transfer_time)
+        if window <= 0:
+            return 0.0
+        return max(0.0, min(1.0, saved / window))
+
+
+def run_overlap_probe(
+    library: MPLibrary,
+    config: ClusterConfig,
+    message_bytes: int = 1 * MB,
+    compute_ratio: float = 1.0,
+    iterations: int = 4,
+) -> OverlapResult:
+    """Measure overlap efficiency for one library/configuration.
+
+    ``compute_ratio`` scales the per-iteration compute to a multiple of
+    the library's own one-way transfer time, so the probe stays in the
+    regime where overlap matters.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    # Baseline: the library's own one-way time for this message.
+    baseline = run_netpipe(library, config, sizes=[message_bytes])
+    transfer = baseline.points[0].oneway_time
+    compute = transfer * compute_ratio
+
+    def program(comm):
+        times = []
+        for _ in range(iterations):
+            yield from comm.barrier()
+            t0 = comm.engine.now
+            if comm.rank == 0:
+                req = comm.isend(1, message_bytes)
+                yield from comm.compute(compute)
+                yield from comm.wait(req)
+            else:
+                req = comm.irecv(0, message_bytes)
+                yield from comm.compute(compute)
+                yield from comm.wait(req)
+            times.append(comm.engine.now - t0)
+        return sum(times) / len(times)
+
+    engine = Engine()
+    comms = build_world(engine, library, config, 2)
+    per_rank = run_ranks(engine, comms, program)
+    return OverlapResult(
+        library=library.display_name,
+        message_bytes=message_bytes,
+        compute_time=compute,
+        transfer_time=transfer,
+        combined_time=max(per_rank),
+        iterations=iterations,
+    )

@@ -1,0 +1,77 @@
+"""Distributed matrix transpose: the alltoall workload.
+
+A global N x N matrix of doubles is row-partitioned across p ranks;
+transposing it means every rank exchanges an (N/p) x (N/p) block with
+every other rank — a dense alltoall, the communication heart of
+parallel FFTs.  Local cost is the block rearrangement (one memcpy pass
+over the local data).  This workload is bisection-bandwidth bound and
+punishes libraries with per-byte overheads (staging copies) more than
+latency-heavy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import Communicator, build_world, run_ranks
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+from repro.sim import Engine
+
+BYTES_PER_ELEMENT = 8
+
+
+@dataclass(frozen=True)
+class TransposeResult:
+    library: str
+    nranks: int
+    matrix_n: int
+    repeats: int
+    time_per_transpose: float
+    bytes_exchanged_per_rank: int
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Per-rank exchange bandwidth in bytes/s."""
+        return self.bytes_exchanged_per_rank / self.time_per_transpose
+
+
+def run_transpose(
+    library: MPLibrary,
+    config: ClusterConfig,
+    nranks: int = 4,
+    matrix_n: int = 1024,
+    repeats: int = 3,
+) -> TransposeResult:
+    """Run the distributed transpose and report per-rank bandwidth."""
+    if nranks < 2:
+        raise ValueError("transpose needs at least 2 ranks")
+    if matrix_n % nranks:
+        raise ValueError("matrix size must divide evenly across ranks")
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    block = matrix_n // nranks
+    block_bytes = block * block * BYTES_PER_ELEMENT
+    local_bytes = matrix_n * block * BYTES_PER_ELEMENT
+
+    def program(comm: Communicator):
+        rearrange = comm.config.host.copy_time(local_bytes)
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        for _ in range(repeats):
+            yield from comm.alltoall(block_bytes)
+            yield from comm.compute(rearrange)
+        yield from comm.barrier()
+        return comm.engine.now - t0
+
+    engine = Engine()
+    comms = build_world(engine, library, config, nranks)
+    elapsed = run_ranks(engine, comms, program)
+    return TransposeResult(
+        library=library.display_name,
+        nranks=nranks,
+        matrix_n=matrix_n,
+        repeats=repeats,
+        time_per_transpose=max(elapsed) / repeats,
+        bytes_exchanged_per_rank=(nranks - 1) * block_bytes,
+    )

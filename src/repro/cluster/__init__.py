@@ -1,0 +1,12 @@
+"""N-rank communicators over the fabric, with progress semantics.
+
+This is the layer the paper's Sec. 7 caveat asks for: it lets the
+protocol differences that NetPIPE cannot see — whether a library keeps
+messages flowing while the application computes — show up in
+application-shaped workloads (:mod:`repro.apps`).
+"""
+
+from repro.cluster.communicator import Communicator, Request, build_world, run_ranks
+from repro.cluster.trace import TraceEvent, Tracer
+
+__all__ = ["Communicator", "Request", "build_world", "run_ranks", "Tracer", "TraceEvent"]

@@ -1,0 +1,31 @@
+"""Collective operations as algorithms over point-to-point sends.
+
+MP_Lite "supports ... many common global operations" (Sec. 3.4) and
+every MPI implementation builds its collectives from the same
+point-to-point machinery this package sits on — so collective costs
+inherit each library's protocol behaviour (copies, buffers,
+handshakes) automatically.
+"""
+
+from repro.collectives.algorithms import (
+    BARRIER_MSG_BYTES,
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "scatter",
+]

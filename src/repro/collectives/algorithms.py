@@ -1,0 +1,191 @@
+"""The classic collective algorithms (binomial, dissemination, ring).
+
+All are generators taking a :class:`~repro.cluster.Communicator`; every
+transfer goes through the library's protocol endpoint, so a collective
+over MPICH pays p4's staging copy on every hop while MP_Lite's does
+not.  Reduction arithmetic is charged at memcpy-class cost (one
+read-combine-write pass over the payload).
+
+Algorithms (the textbook set, as the era's libraries implemented them):
+
+=============  =======================================  ==============
+operation      algorithm                                steps
+=============  =======================================  ==============
+barrier        dissemination                            ceil(log2 p)
+bcast          binomial tree                            ceil(log2 p)
+reduce         binomial tree (reversed)                 ceil(log2 p)
+allreduce      recursive doubling (p = 2^k),            log2 p
+               else reduce + bcast
+allgather      ring                                     p - 1
+alltoall       pairwise exchange (XOR when p = 2^k)     p - 1
+gather         binomial, blocks coalescing upward       ceil(log2 p)
+scatter        binomial, blocks halving downward        ceil(log2 p)
+=============  =======================================  ==============
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.communicator import Communicator
+
+#: Payload of the barrier's control messages.
+BARRIER_MSG_BYTES = 4
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _combine_cost(comm: "Communicator", nbytes: int) -> float:
+    """One read-op-write pass over ``nbytes`` (reduction arithmetic)."""
+    return comm.config.host.copy_time(nbytes)
+
+
+def barrier(comm: "Communicator") -> Generator:
+    """Dissemination barrier: ceil(log2 p) rounds of shifted exchanges."""
+    p, rank = comm.size, comm.rank
+    distance = 1
+    while distance < p:
+        dst = (rank + distance) % p
+        src = (rank - distance) % p
+        yield from comm.sendrecv(dst, BARRIER_MSG_BYTES, src, BARRIER_MSG_BYTES)
+        distance *= 2
+
+
+def bcast(comm: "Communicator", root: int, nbytes: int) -> Generator:
+    """Binomial-tree broadcast from ``root``."""
+    _check(comm, root, nbytes)
+    p, rank = comm.size, comm.rank
+    relative = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if relative < mask:
+            dst_rel = relative + mask
+            if dst_rel < p:
+                yield from comm.send((dst_rel + root) % p, nbytes)
+        elif relative < 2 * mask:
+            src_rel = relative - mask
+            yield from comm.recv((src_rel + root) % p, nbytes)
+        mask *= 2
+
+
+def reduce(comm: "Communicator", root: int, nbytes: int) -> Generator:
+    """Binomial-tree reduction to ``root``."""
+    _check(comm, root, nbytes)
+    p, rank = comm.size, comm.rank
+    relative = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if relative & mask:
+            parent_rel = relative & ~mask
+            yield from comm.send((parent_rel + root) % p, nbytes)
+            return
+        child_rel = relative | mask
+        if child_rel < p:
+            yield from comm.recv((child_rel + root) % p, nbytes)
+            yield comm.engine.timeout(_combine_cost(comm, nbytes))
+        mask *= 2
+
+
+def allreduce(comm: "Communicator", nbytes: int) -> Generator:
+    """Recursive doubling when p is a power of two; else reduce+bcast."""
+    _check(comm, 0, nbytes)
+    p, rank = comm.size, comm.rank
+    if not _is_pow2(p):
+        yield from reduce(comm, 0, nbytes)
+        yield from bcast(comm, 0, nbytes)
+        return
+    distance = 1
+    while distance < p:
+        partner = rank ^ distance
+        yield from comm.sendrecv(partner, nbytes, partner, nbytes)
+        yield comm.engine.timeout(_combine_cost(comm, nbytes))
+        distance *= 2
+
+
+def allgather(comm: "Communicator", nbytes_per_rank: int) -> Generator:
+    """Ring allgather: p-1 shifts of one block each."""
+    _check(comm, 0, nbytes_per_rank)
+    p, rank = comm.size, comm.rank
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    for _ in range(p - 1):
+        yield from comm.sendrecv(right, nbytes_per_rank, left, nbytes_per_rank)
+
+
+def alltoall(comm: "Communicator", nbytes_per_pair: int) -> Generator:
+    """Pairwise-exchange alltoall (XOR schedule when p is 2^k)."""
+    _check(comm, 0, nbytes_per_pair)
+    p, rank = comm.size, comm.rank
+    for step in range(1, p):
+        if _is_pow2(p):
+            partner = rank ^ step
+            yield from comm.sendrecv(partner, nbytes_per_pair, partner, nbytes_per_pair)
+        else:
+            dst = (rank + step) % p
+            src = (rank - step) % p
+            yield from comm.sendrecv(dst, nbytes_per_pair, src, nbytes_per_pair)
+
+
+def gather(comm: "Communicator", root: int, nbytes_per_rank: int) -> Generator:
+    """Binomial gather: subtree blocks coalesce on the way up."""
+    _check(comm, root, nbytes_per_rank)
+    p, rank = comm.size, comm.rank
+    relative = (rank - root) % p
+    blocks = 1  # blocks this rank currently holds
+    mask = 1
+    while mask < p:
+        if relative & mask:
+            parent_rel = relative & ~mask
+            yield from comm.send((parent_rel + root) % p, blocks * nbytes_per_rank)
+            return
+        child_rel = relative | mask
+        if child_rel < p:
+            child_blocks = min(mask, p - child_rel)
+            yield from comm.recv(
+                (child_rel + root) % p, child_blocks * nbytes_per_rank
+            )
+            blocks += child_blocks
+        mask *= 2
+
+
+def scatter(comm: "Communicator", root: int, nbytes_per_rank: int) -> Generator:
+    """Binomial scatter: the root's buffer halves on the way down.
+
+    Each relative rank ``r`` is responsible for the block range
+    ``[r, r + lsb(r))`` (clipped to ``p``); it receives that range from
+    its parent ``r - lsb(r)`` and forwards upper halves to children.
+    """
+    _check(comm, root, nbytes_per_rank)
+    p, rank = comm.size, comm.rank
+    relative = (rank - root) % p
+    if relative == 0:
+        held = p  # blocks currently held (own + descendants')
+        mask = 1
+        while mask < p:
+            mask *= 2
+        mask //= 2
+    else:
+        lsb = relative & -relative
+        parent_rel = relative - lsb
+        held = min(lsb, p - relative)
+        yield from comm.recv((parent_rel + root) % p, held * nbytes_per_rank)
+        mask = lsb // 2
+    while mask >= 1:
+        child_rel = relative + mask
+        if child_rel < p and held > mask:
+            # The child takes every block beyond offset ``mask``.
+            yield from comm.send(
+                (child_rel + root) % p, (held - mask) * nbytes_per_rank
+            )
+            held = mask
+        mask //= 2
+
+
+def _check(comm: "Communicator", root: int, nbytes: int) -> None:
+    if not 0 <= root < comm.size:
+        raise ValueError(f"root {root} out of range for size {comm.size}")
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")

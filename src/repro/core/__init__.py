@@ -1,0 +1,35 @@
+"""NetPIPE: the paper's measurement methodology, reimplemented.
+
+NetPIPE "performs simple ping-pong tests, bouncing messages of
+increasing size between two processors.  Message sizes are chosen at
+regular intervals, and also with slight perturbations, to provide a
+complete test of the system."  This package provides:
+
+* :mod:`~repro.core.sizes` — the size schedule with perturbations;
+* :mod:`~repro.core.pingpong` — the ping-pong driver (simulated time);
+* :mod:`~repro.core.results` — result containers and curve analysis;
+* :mod:`~repro.core.runner` — one-call sweep over a library+config;
+* :mod:`~repro.core.report` — text rendering of curves and tables.
+"""
+
+from repro.core.sizes import netpipe_sizes
+from repro.core.pingpong import (
+    measure_bidirectional,
+    measure_pingpong,
+    measure_streaming,
+)
+from repro.core.results import NetPipePoint, NetPipeResult
+from repro.core.runner import run_netpipe
+from repro.core.report import format_result, format_comparison
+
+__all__ = [
+    "netpipe_sizes",
+    "measure_pingpong",
+    "measure_streaming",
+    "measure_bidirectional",
+    "NetPipePoint",
+    "NetPipeResult",
+    "run_netpipe",
+    "format_result",
+    "format_comparison",
+]

@@ -1,0 +1,67 @@
+"""Plain-text rendering of NetPIPE results — the benches' output format.
+
+The paper's figures are log-x throughput curves; in a terminal we print
+the same data as aligned tables (and a crude ASCII throughput profile)
+so a bench run can be compared against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.results import NetPipeResult
+
+
+def format_result(result: NetPipeResult, every: int = 1) -> str:
+    """One curve as a size/time/throughput table."""
+    lines = [
+        f"# {result.library} — {result.config}",
+        f"# latency {result.latency_us:8.1f} us   max {result.max_mbps:7.1f} Mb/s",
+        f"{'bytes':>10}  {'usec':>12}  {'Mbps':>10}",
+    ]
+    for i, p in enumerate(result.points):
+        if i % every and p is not result.points[-1]:
+            continue
+        lines.append(f"{p.size:>10}  {p.time_us:>12.2f}  {p.mbps:>10.2f}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Mapping[str, NetPipeResult],
+    sizes: Sequence[int] = (64, 1024, 16384, 131072, 1048576, 8388608),
+) -> str:
+    """Several curves side by side at representative sizes (Mb/s)."""
+    if not results:
+        return "(no results)"
+    names = list(results)
+    width = max(len(n) for n in names) + 2
+    header = f"{'bytes':>10}" + "".join(f"{n:>{max(width, 10)}}" for n in names)
+    lines = [header]
+    for size in sizes:
+        row = f"{size:>10}"
+        for n in names:
+            row += f"{results[n].mbps_at(size):>{max(width, 10)}.1f}"
+        lines.append(row)
+    lines.append("")
+    summary = f"{'summary':>10}"
+    lines.append(
+        f"{'max Mb/s':>10}"
+        + "".join(f"{results[n].max_mbps:>{max(width, 10)}.1f}" for n in names)
+    )
+    lines.append(
+        f"{'lat us':>10}"
+        + "".join(f"{results[n].latency_us:>{max(width, 10)}.1f}" for n in names)
+    )
+    return "\n".join(lines)
+
+
+def ascii_profile(result: NetPipeResult, width: int = 60) -> str:
+    """A crude log-x throughput profile for terminal eyeballing."""
+    peak = result.max_mbps
+    lines = [f"{result.library}: throughput profile (peak {peak:.0f} Mb/s)"]
+    for p in result.points:
+        if p.size & (p.size - 1):
+            continue  # powers of two only, keeps it readable
+        bar = "#" * max(1, int(width * p.mbps / peak))
+        lines.append(f"{p.size:>9} | {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""One-call NetPIPE sweep: library + cluster config -> NetPipeResult."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pingpong import measure_sweep
+from repro.core.results import NetPipePoint, NetPipeResult
+from repro.core.sizes import netpipe_sizes
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+from repro.sim import Engine
+
+
+def run_netpipe(
+    library: MPLibrary,
+    config: ClusterConfig,
+    sizes: Sequence[int] | None = None,
+    repeats: int = 1,
+) -> NetPipeResult:
+    """Run a NetPIPE sweep of ``library`` over ``config``.
+
+    A fresh event engine and connection are built, then every size in
+    the schedule is ping-ponged on the warm connection, exactly like a
+    single NetPIPE invocation.  Deterministic: same inputs, same curve.
+    """
+    if sizes is None:
+        sizes = netpipe_sizes()
+    engine = Engine()
+    a, b = library.build(engine, config)
+    samples = measure_sweep(engine, a, b, sizes, repeats=repeats)
+    return NetPipeResult(
+        library=library.display_name,
+        config=config.describe(),
+        points=[NetPipePoint(size=s, oneway_time=t) for s, t in samples],
+    )
+
+
+def run_many(
+    libraries: Sequence[MPLibrary],
+    config: ClusterConfig,
+    sizes: Sequence[int] | None = None,
+) -> dict[str, NetPipeResult]:
+    """Sweep several libraries over the same configuration.
+
+    Returns ``{display_name: result}`` preserving input order (dicts
+    are ordered), which is how the figure reproductions are built.
+    """
+    out: dict[str, NetPipeResult] = {}
+    for lib in libraries:
+        result = run_netpipe(lib, config, sizes=sizes)
+        if lib.display_name in out:
+            raise ValueError(f"duplicate library label {lib.display_name!r}")
+        out[lib.display_name] = result
+    return out

@@ -1,0 +1,55 @@
+"""The NetPIPE message-size schedule.
+
+NetPIPE sweeps sizes geometrically (doubling) and, around each target,
+also measures slightly perturbed sizes (target - delta and target +
+delta).  The perturbations catch buffer-boundary artifacts — a library
+whose fragment size is 4096 behaves differently at 4093 and 4099 — and
+give the "complete test of the system" the paper relies on.
+"""
+
+from __future__ import annotations
+
+from repro.units import MB
+
+#: NetPIPE's default perturbation offset.
+DEFAULT_PERTURBATION = 3
+
+#: The paper's curves run from 1 byte to several megabytes.
+DEFAULT_MAX_SIZE = 8 * MB
+
+
+def netpipe_sizes(
+    start: int = 1,
+    stop: int = DEFAULT_MAX_SIZE,
+    perturbation: int = DEFAULT_PERTURBATION,
+) -> list[int]:
+    """The classic NetPIPE schedule: doubling targets with ±delta.
+
+    Returns a sorted, de-duplicated list of message sizes in
+    ``[start, stop]``, always including ``start`` and ``stop``.
+    """
+    if start < 1:
+        raise ValueError("start must be >= 1")
+    if stop < start:
+        raise ValueError("stop must be >= start")
+    if perturbation < 0:
+        raise ValueError("perturbation must be non-negative")
+
+    sizes: set[int] = {start, stop}
+    target = 1
+    while target <= stop:
+        for candidate in (target - perturbation, target, target + perturbation):
+            if start <= candidate <= stop:
+                sizes.add(candidate)
+        target *= 2
+    return sorted(sizes)
+
+
+def latency_sizes(limit: int = 64) -> list[int]:
+    """Sizes used for the small-message latency figure.
+
+    "All latencies discussed in this paper are small message latencies
+    representative of the round trip time divided by two for messages
+    smaller than 64 bytes."
+    """
+    return [s for s in netpipe_sizes(stop=limit) if s < limit]

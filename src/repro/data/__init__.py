@@ -1,0 +1,5 @@
+"""The paper's expected values, reconstructed and annotated."""
+
+from repro.data.paper import ANCHORS, Anchor, anchors_for
+
+__all__ = ["ANCHORS", "Anchor", "anchors_for"]

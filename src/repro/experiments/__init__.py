@@ -1,0 +1,27 @@
+"""Paper experiments: one module per figure/table, plus the audit.
+
+* ``configs``  — named cluster configurations from the paper's testbed
+* ``harness``  — the Experiment container and anchor auditing
+* ``figures``  — figures 1-5 as Experiment instances
+* ``tables``   — tables T1-T4 formalised from the paper's in-text claims
+* ``audit``    — run everything, produce the EXPERIMENTS.md report
+"""
+
+from repro.experiments import configs
+from repro.experiments.harness import Experiment, ExperimentEntry, AuditRow
+from repro.experiments.figures import FIG1, FIG2, FIG3, FIG4, FIG5, ALL_FIGURES
+from repro.experiments.untuned import FIG_UNTUNED
+
+__all__ = [
+    "configs",
+    "Experiment",
+    "ExperimentEntry",
+    "AuditRow",
+    "FIG1",
+    "FIG2",
+    "FIG3",
+    "FIG4",
+    "FIG5",
+    "ALL_FIGURES",
+    "FIG_UNTUNED",
+]

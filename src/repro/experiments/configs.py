@@ -1,0 +1,75 @@
+"""Named cluster configurations matching the paper's testbed setups.
+
+All functions return fresh frozen ClusterConfig instances.  "Tuned"
+means the paper's /etc/sysctl.conf socket-buffer tuning is applied
+(Sec. 3.4); every figure in the paper is measured after OS tuning
+("All graphs presented here were after optimization").
+"""
+
+from __future__ import annotations
+
+from repro.hw.catalog import (
+    COMPAQ_DS20,
+    GIGANET_CLAN,
+    MYRINET_PCI64A,
+    NETGEAR_GA620,
+    NETGEAR_GA622,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+    TRENDNET_TEG_PCITX,
+)
+from repro.hw.cluster import ClusterConfig, DEFAULT_SYSCTL, TUNED_SYSCTL
+
+
+def pc_netgear_ga620(tuned: bool = True) -> ClusterConfig:
+    """Figure 1: Netgear GA620 fiber GigE between the P4 PCs."""
+    return ClusterConfig(
+        PENTIUM4_PC, NETGEAR_GA620, sysctl=TUNED_SYSCTL if tuned else DEFAULT_SYSCTL
+    )
+
+
+def pc_trendnet(tuned: bool = True) -> ClusterConfig:
+    """Figure 2: TrendNet TEG-PCITX copper GigE between the PCs."""
+    return ClusterConfig(
+        PENTIUM4_PC,
+        TRENDNET_TEG_PCITX,
+        sysctl=TUNED_SYSCTL if tuned else DEFAULT_SYSCTL,
+    )
+
+
+def ds20_syskonnect_jumbo(tuned: bool = True) -> ClusterConfig:
+    """Figure 3: SysKonnect SK-9843 with 9000 B MTU between DS20s."""
+    return ClusterConfig(
+        COMPAQ_DS20,
+        SYSKONNECT_SK9843,
+        mtu=9000,
+        sysctl=TUNED_SYSCTL if tuned else DEFAULT_SYSCTL,
+    )
+
+
+def pc_syskonnect(jumbo: bool = False, tuned: bool = True) -> ClusterConfig:
+    """SysKonnect between the PCs (M-VIA substrate; 710 Mb/s jumbo cap)."""
+    return ClusterConfig(
+        PENTIUM4_PC,
+        SYSKONNECT_SK9843,
+        mtu=9000 if jumbo else None,
+        sysctl=TUNED_SYSCTL if tuned else DEFAULT_SYSCTL,
+    )
+
+
+def pc_myrinet() -> ClusterConfig:
+    """Figure 4: Myrinet PCI64A-2 between the PCs, back to back."""
+    return ClusterConfig(PENTIUM4_PC, MYRINET_PCI64A)
+
+
+def pc_giganet() -> ClusterConfig:
+    """Figure 5: Giganet cLAN through the 8-port CL5000 switch."""
+    return ClusterConfig(PENTIUM4_PC, GIGANET_CLAN, back_to_back=False)
+
+
+def ds20_netgear_ga622(tuned: bool = True) -> ClusterConfig:
+    """Sec. 7 aside: the GA622s on the DS20s, where the immature
+    ns83820 driver made 'even raw TCP' poor."""
+    return ClusterConfig(
+        COMPAQ_DS20, NETGEAR_GA622, sysctl=TUNED_SYSCTL if tuned else DEFAULT_SYSCTL
+    )

@@ -1,0 +1,153 @@
+"""Figures 1-5 of the paper as runnable Experiments.
+
+Each figure lists the same curves as the paper's legend, using the
+paper's *optimised* library configurations (Sec. 8: "All graphs
+presented here were after optimization of the available parameters").
+"""
+
+from __future__ import annotations
+
+from repro.experiments import configs
+from repro.experiments.harness import Experiment, ExperimentEntry
+from repro.mplib import (
+    IpOverGm,
+    LamMpi,
+    Mpich,
+    MpichGm,
+    MpiPro,
+    MpiProGm,
+    MpiProVia,
+    MpLite,
+    MpLiteVia,
+    Mvich,
+    Pvm,
+    RawGm,
+    RawTcp,
+    Tcgmsg,
+)
+from repro.units import kb
+
+
+def _entry(label, lib, cfg) -> ExperimentEntry:
+    return ExperimentEntry(label=label, library=lib, config=cfg)
+
+
+# ---------------------------------------------------------------------------
+_GA620 = configs.pc_netgear_ga620()
+FIG1 = Experiment(
+    id="fig1",
+    title="Figure 1 — Netgear GA620 fiber GigE between PCs",
+    description=(
+        "Message-passing performance across the Netgear GA620 fiber "
+        "Gigabit Ethernet cards between two 1.8 GHz Pentium-4 PCs.  Raw "
+        "TCP tops out at 550 Mb/s; MP_Lite and TCGMSG sit on the TCP "
+        "curve; MPI/Pro comes within 5 %; LAM/MPI (-O) is near TCP with "
+        "a slight rendezvous dip; MPICH and PVM lose 25-30 % to staging "
+        "copies, and MPICH shows a sharp dip at its 128 KB rendezvous "
+        "cutoff."
+    ),
+    entries=(
+        _entry("raw TCP", RawTcp(), _GA620),
+        _entry("MPICH", Mpich.tuned(), _GA620),
+        _entry("LAM/MPI", LamMpi.tuned(), _GA620),
+        _entry("MPI/Pro", MpiPro.tuned(), _GA620),
+        _entry("MP_Lite", MpLite(), _GA620),
+        _entry("PVM", Pvm.tuned(), _GA620),
+        _entry("TCGMSG", Tcgmsg(), _GA620),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+_TRENDNET = configs.pc_trendnet()
+FIG2 = Experiment(
+    id="fig2",
+    title="Figure 2 — TrendNet TEG-PCITX copper GigE between PCs",
+    description=(
+        "The cheap TrendNet cards need large socket buffers.  Only the "
+        "libraries with tunable buffer sizes (raw TCP, MP_Lite, MPICH) "
+        "reach full speed; LAM/MPI, MPI/Pro and TCGMSG flatten around "
+        "250 Mb/s and PVM around 190 Mb/s."
+    ),
+    entries=(
+        _entry("raw TCP", RawTcp(), _TRENDNET),
+        _entry("MPICH", Mpich.tuned(), _TRENDNET),
+        _entry("LAM/MPI", LamMpi.tuned(), _TRENDNET),
+        _entry("MPI/Pro", MpiPro.tuned(), _TRENDNET),
+        _entry("MP_Lite", MpLite(), _TRENDNET),
+        _entry("PVM", Pvm.tuned(), _TRENDNET),
+        _entry("TCGMSG", Tcgmsg(), _TRENDNET),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+_DS20 = configs.ds20_syskonnect_jumbo()
+FIG3 = Experiment(
+    id="fig3",
+    title="Figure 3 — SysKonnect SK-9843 with 9000 B MTU between DS20s",
+    description=(
+        "Jumbo frames plus the DS20s' 64-bit PCI raise raw TCP to "
+        "900 Mb/s at 48 us.  MP_Lite follows; MPICH (P4_SOCKBUFSIZE "
+        "raised) loses its usual 25-30 % to the p4 receive copy; "
+        "TCGMSG's hardwired 32 KB buffer caps it at 400 Mb/s, as does "
+        "PVM's; LAM/MPI loses about 25 % in the paper (our model, which "
+        "gives LAM the OS-default buffer, lands lower — see "
+        "EXPERIMENTS.md)."
+    ),
+    entries=(
+        _entry("raw TCP", RawTcp(), _DS20),
+        # Fig. 3 tuning: on the 900 Mb/s path the paper's tuning pass
+        # raises P4_SOCKBUFSIZE further (it is the one knob p4 exposes).
+        _entry("MPICH", Mpich.tuned(sockbuf=kb(512)), _DS20),
+        _entry("LAM/MPI", LamMpi.tuned(), _DS20),
+        _entry("MP_Lite", MpLite(), _DS20),
+        _entry("PVM", Pvm.tuned(), _DS20),
+        _entry("TCGMSG", Tcgmsg(), _DS20),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+_MYRI = configs.pc_myrinet()
+FIG4 = Experiment(
+    id="fig4",
+    title="Figure 4 — Myrinet PCI64A-2 cards between PCs",
+    description=(
+        "Raw GM delivers 800 Mb/s at 16 us; MPICH-GM and MPI/Pro-GM "
+        "pass nearly all of it through, losing a few percent in the "
+        "intermediate range to eager bounce copies.  IP-over-GM pays "
+        "the kernel stack again: 48 us latency and GigE-class "
+        "throughput.  The TCP-GigE curve is included for reference, as "
+        "in the paper."
+    ),
+    entries=(
+        _entry("raw GM", RawGm(), _MYRI),
+        _entry("MPICH-GM", MpichGm(), _MYRI),
+        _entry("MPI/Pro-GM", MpiProGm(), _MYRI),
+        _entry("IP-GM", IpOverGm(), _MYRI),
+        _entry("TCP - GE", RawTcp(), configs.pc_netgear_ga620()),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+_CLAN = configs.pc_giganet()
+_SK_PC = configs.pc_syskonnect()
+FIG5 = Experiment(
+    id="fig5",
+    title="Figure 5 — Giganet cLAN and M-VIA over SysKonnect, between PCs",
+    description=(
+        "On Giganet hardware VIA, MVICH, MP_Lite and MPI/Pro all reach "
+        "~800 Mb/s; MVICH and MP_Lite at ~10 us latency, MPI/Pro at "
+        "42 us (progress thread).  Software VIA (M-VIA) over the "
+        "SysKonnect cards reaches 425 Mb/s at 42 us — about what raw "
+        "TCP achieves on the same hardware — with a small dip at the "
+        "16 KB RDMA threshold."
+    ),
+    entries=(
+        _entry("MVICH", Mvich.tuned(), _CLAN),
+        _entry("MP_Lite/VIA", MpLiteVia(), _CLAN),
+        _entry("MPI/Pro-VIA", MpiProVia.tuned(), _CLAN),
+        _entry("MVICH (M-VIA)", Mvich(), _SK_PC),
+        _entry("MP_Lite (M-VIA)", MpLiteVia(), _SK_PC),
+    ),
+)
+
+ALL_FIGURES = (FIG1, FIG2, FIG3, FIG4, FIG5)

@@ -1,0 +1,87 @@
+"""Experiment container: entries, runs, and anchor audits.
+
+An :class:`Experiment` bundles everything one paper figure needs — the
+libraries (each with its own cluster config, since some figures mix
+configurations) — and knows how to audit its results against the
+paper's anchors from :mod:`repro.data.paper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.results import NetPipeResult
+from repro.core.runner import run_netpipe
+from repro.data.paper import Anchor, anchors_for
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One curve of one figure: a label, a library, a configuration."""
+
+    label: str
+    library: MPLibrary
+    config: ClusterConfig
+
+
+@dataclass(frozen=True)
+class AuditRow:
+    """One paper-vs-measured comparison."""
+
+    anchor: Anchor
+    measured: float
+    ok: bool
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "MISS"
+        note = f"  [{self.anchor.ocr_note}]" if self.anchor.ocr_note else ""
+        return (
+            f"{mark}  {self.anchor.id:36s} paper={self.anchor.expected:8.1f} "
+            f"measured={self.measured:8.1f} (tol {self.anchor.rel_tol:.0%}){note}"
+        )
+
+
+@dataclass
+class Experiment:
+    """One reproducible paper figure/table."""
+
+    id: str
+    title: str
+    description: str
+    entries: tuple[ExperimentEntry, ...]
+
+    def run(self, sizes: Sequence[int] | None = None) -> dict[str, NetPipeResult]:
+        """All curves of the figure, keyed by label."""
+        out: dict[str, NetPipeResult] = {}
+        for entry in self.entries:
+            if entry.label in out:
+                raise ValueError(f"duplicate label {entry.label!r} in {self.id}")
+            out[entry.label] = run_netpipe(entry.library, entry.config, sizes=sizes)
+        return out
+
+    def anchors(self) -> list[Anchor]:
+        return anchors_for(self.id)
+
+    def audit(
+        self, results: dict[str, NetPipeResult] | None = None,
+        sizes: Sequence[int] | None = None,
+    ) -> list[AuditRow]:
+        """Compare a run (or a fresh one) against the paper's anchors."""
+        if results is None:
+            results = self.run(sizes=sizes)
+        rows: list[AuditRow] = []
+        for anchor in self.anchors():
+            if anchor.library not in results:
+                raise KeyError(
+                    f"anchor {anchor.id} references {anchor.library!r} which "
+                    f"{self.id} did not produce (labels: {sorted(results)})"
+                )
+            measured, ok = anchor.check(results[anchor.library])
+            rows.append(AuditRow(anchor=anchor, measured=measured, ok=ok))
+        return rows
+
+    def labels(self) -> list[str]:
+        return [e.label for e in self.entries]

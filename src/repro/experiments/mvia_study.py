@@ -1,0 +1,63 @@
+"""The M-VIA study the paper asks for (Sec. 7's future work, executed).
+
+"More tests are needed to fully explore the capabilities of M-VIA."
+The paper only ran M-VIA on the SysKonnect cards, where it tied raw
+TCP.  The interesting question is the *other* NICs: M-VIA bypasses the
+TCP stack — including the socket-buffer windowing that cripples the
+cheap cards — so on a TrendNet-class NIC, software VIA should beat
+untunable-buffer TCP libraries even though it ties TCP on a
+well-behaved card.
+
+This experiment sweeps MVICH-over-M-VIA against tuned raw TCP and an
+untunable-buffer TCP library (LAM) across every Ethernet NIC in the
+catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import NetPipeResult
+from repro.core.runner import run_netpipe
+from repro.hw.catalog import (
+    NETGEAR_GA620,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+    TRENDNET_TEG_PCITX,
+)
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.mplib import LamMpi, Mvich, RawTcp
+
+
+@dataclass(frozen=True)
+class MviaStudyRow:
+    """One NIC's three-way comparison."""
+
+    nic: str
+    raw_tcp: NetPipeResult
+    lam_tcp: NetPipeResult
+    mvich_mvia: NetPipeResult
+
+    @property
+    def mvia_vs_raw(self) -> float:
+        return self.mvich_mvia.plateau_mbps / self.raw_tcp.plateau_mbps
+
+    @property
+    def mvia_vs_lam(self) -> float:
+        return self.mvich_mvia.plateau_mbps / self.lam_tcp.plateau_mbps
+
+
+def run_mvia_study() -> list[MviaStudyRow]:
+    """MVICH/M-VIA vs tuned raw TCP vs LAM, per Ethernet NIC."""
+    rows = []
+    for nic in (TRENDNET_TEG_PCITX, NETGEAR_GA620, SYSKONNECT_SK9843):
+        cfg = ClusterConfig(PENTIUM4_PC, nic, sysctl=TUNED_SYSCTL)
+        rows.append(
+            MviaStudyRow(
+                nic=nic.name,
+                raw_tcp=run_netpipe(RawTcp(), cfg),
+                lam_tcp=run_netpipe(LamMpi.tuned(), cfg),
+                mvich_mvia=run_netpipe(Mvich(), cfg),
+            )
+        )
+    return rows

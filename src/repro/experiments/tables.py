@@ -1,0 +1,335 @@
+"""Tables T1-T4: the paper's in-text numeric claims, formalised.
+
+The paper has no numbered tables; its quantitative claims are embedded
+in the prose of Secs. 2-7.  We formalise them as four tables:
+
+* **T1** — the hardware inventory of Sec. 2 (static, from the catalog);
+* **T2** — small-message latencies per library/configuration;
+* **T3** — tuning before/after effects (the paper's core message);
+* **T4** — maximum-throughput matrix and % of raw transport delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.results import NetPipeResult
+from repro.core.runner import run_netpipe
+from repro.core.sizes import netpipe_sizes
+from repro.data.paper import anchors_for
+from repro.experiments import configs
+from repro.experiments.harness import AuditRow, Experiment, ExperimentEntry
+from repro.hw.catalog import ALL_NICS
+from repro.hw.cluster import ClusterConfig
+from repro.mplib import (
+    LamMode,
+    LamMpi,
+    LamParams,
+    Mpich,
+    MpiPro,
+    MpLite,
+    MpLiteVia,
+    Mvich,
+    Pvm,
+    RawGm,
+    RawTcp,
+    Tcgmsg,
+)
+from repro.mplib.base import MPLibrary
+from repro.net.gm import GmReceiveMode
+from repro.units import MB, kb
+
+
+# ---------------------------------------------------------------------------
+# T1 — hardware inventory (Sec. 2)
+# ---------------------------------------------------------------------------
+
+def table_t1_rows() -> list[dict]:
+    """The Sec. 2 NIC inventory as structured rows."""
+    return [
+        {
+            "nic": n.name,
+            "media": n.media,
+            "driver": n.driver,
+            "price_usd": n.price_usd,
+            "pci": "32/64-bit" if n.pci_64bit_capable else "32-bit",
+            "jumbo": n.supports_jumbo,
+            "link_mbps": round(n.link_rate_mbps),
+        }
+        for n in ALL_NICS
+    ]
+
+
+def format_table_t1() -> str:
+    """Render T1 as an aligned text table."""
+    rows = table_t1_rows()
+    lines = [
+        "T1 — NIC inventory (paper Sec. 2)",
+        f"{'NIC':28} {'media':7} {'driver':10} {'PCI':10} {'jumbo':5} {'$':>5}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['nic']:28} {r['media']:7} {r['driver']:10} {r['pci']:10} "
+            f"{'yes' if r['jumbo'] else 'no':5} {r['price_usd']:>5.0f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# T2 — small-message latencies
+# ---------------------------------------------------------------------------
+
+#: Short schedule: enough sub-64-byte points for the latency metric
+#: plus a tail so the runs stay representative.
+_LATENCY_SIZES = tuple(netpipe_sizes(stop=kb(1)))
+
+
+def table_t2_entries() -> list[ExperimentEntry]:
+    """The library/configuration pairs T2 measures."""
+    ga620 = configs.pc_netgear_ga620()
+    trend = configs.pc_trendnet()
+    ds20 = configs.ds20_syskonnect_jumbo()
+    myri = configs.pc_myrinet()
+    clan = configs.pc_giganet()
+    sk = configs.pc_syskonnect()
+    return [
+        ExperimentEntry("raw TCP / GA620 / PC", RawTcp(), ga620),
+        ExperimentEntry("raw TCP / TrendNet / PC", RawTcp(), trend),
+        ExperimentEntry("raw TCP / SysKonnect jumbo / DS20", RawTcp(), ds20),
+        ExperimentEntry("MPICH / GA620 / PC", Mpich.tuned(), ga620),
+        ExperimentEntry("LAM/MPI / GA620 / PC", LamMpi.tuned(), ga620),
+        ExperimentEntry("LAM/MPI lamd / GA620 / PC", LamMpi.with_daemons(), ga620),
+        ExperimentEntry("MPI/Pro / GA620 / PC", MpiPro.tuned(), ga620),
+        ExperimentEntry("MP_Lite / GA620 / PC", MpLite(), ga620),
+        ExperimentEntry("PVM / GA620 / PC", Pvm.tuned(), ga620),
+        ExperimentEntry("TCGMSG / GA620 / PC", Tcgmsg(), ga620),
+        ExperimentEntry("raw GM / Myrinet / PC", RawGm(), myri),
+        ExperimentEntry("raw GM blocking / Myrinet / PC",
+                        RawGm(GmReceiveMode.BLOCKING), myri),
+        ExperimentEntry("MVICH / Giganet / PC", Mvich.tuned(), clan),
+        ExperimentEntry("MP_Lite/VIA / Giganet / PC", MpLiteVia(), clan),
+        ExperimentEntry("MVICH / M-VIA SysKonnect / PC", Mvich(), sk),
+    ]
+
+
+def run_table_t2() -> dict[str, float]:
+    """{configuration label: one-way latency in us}."""
+    out: dict[str, float] = {}
+    for e in table_t2_entries():
+        r = run_netpipe(e.library, e.config, sizes=_LATENCY_SIZES)
+        out[e.label] = r.latency_us
+    return out
+
+
+def format_table_t2(latencies: dict[str, float] | None = None) -> str:
+    """Render T2 as an aligned text table."""
+    latencies = latencies if latencies is not None else run_table_t2()
+    lines = ["T2 — small-message latencies (one-way, us)"]
+    for label, value in latencies.items():
+        lines.append(f"  {label:40s} {value:8.1f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# T3 — tuning before/after (the paper's core message)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TuningCase:
+    """One before/after tuning comparison from the paper's prose."""
+
+    label: str
+    knob: str
+    before: Callable[[], tuple[MPLibrary, ClusterConfig]]
+    after: Callable[[], tuple[MPLibrary, ClusterConfig]]
+    metric: str = "plateau_mbps"  # "latency_us" or "mbps_at:<size>"
+
+    def _extract(self, r: NetPipeResult) -> float:
+        if self.metric == "latency_us":
+            return r.latency_us
+        if self.metric.startswith("mbps_at:"):
+            return r.mbps_at(int(self.metric.split(":", 1)[1]))
+        return r.plateau_mbps
+
+    def run(self, sizes: Sequence[int] | None = None) -> tuple[float, float]:
+        values = []
+        for factory in (self.before, self.after):
+            lib, cfg = factory()
+            values.append(self._extract(run_netpipe(lib, cfg, sizes=sizes)))
+        return tuple(values)  # type: ignore[return-value]
+
+
+TUNING_CASES: tuple[TuningCase, ...] = (
+    TuningCase(
+        label="MPICH P4_SOCKBUFSIZE 32K->256K (GA620/PC)",
+        knob="P4_SOCKBUFSIZE",
+        before=lambda: (Mpich(), configs.pc_netgear_ga620()),
+        after=lambda: (Mpich.tuned(), configs.pc_netgear_ga620()),
+    ),
+    TuningCase(
+        label="raw TCP default->512K buffers (TrendNet/PC)",
+        knob="net.core.{r,w}mem_max + SO_*BUF",
+        before=lambda: (RawTcp.untuned(), configs.pc_trendnet(tuned=False)),
+        after=lambda: (RawTcp(), configs.pc_trendnet()),
+    ),
+    TuningCase(
+        label="PVM daemon->direct route (GA620/PC)",
+        knob="pvm_setopt(PvmRoute, PvmRouteDirect)",
+        before=lambda: (Pvm(), configs.pc_netgear_ga620()),
+        after=lambda: (Pvm.direct(), configs.pc_netgear_ga620()),
+    ),
+    TuningCase(
+        label="PVM direct->DataInPlace (GA620/PC)",
+        knob="pvm_initsend(PvmDataInPlace)",
+        before=lambda: (Pvm.direct(), configs.pc_netgear_ga620()),
+        after=lambda: (Pvm.tuned(), configs.pc_netgear_ga620()),
+    ),
+    TuningCase(
+        label="LAM default->-O (GA620/PC)",
+        knob="mpirun -O",
+        before=lambda: (
+            LamMpi(LamParams(mode=LamMode.C2C)),
+            configs.pc_netgear_ga620(),
+        ),
+        after=lambda: (LamMpi.tuned(), configs.pc_netgear_ga620()),
+    ),
+    TuningCase(
+        label="LAM -O->lamd (GA620/PC)",
+        knob="mpirun -lamd",
+        before=lambda: (LamMpi.tuned(), configs.pc_netgear_ga620()),
+        after=lambda: (LamMpi.with_daemons(), configs.pc_netgear_ga620()),
+    ),
+    TuningCase(
+        label="TCGMSG SR_SOCK_BUF_SIZE 32K->128K (SysKonnect/DS20)",
+        knob="SR_SOCK_BUF_SIZE in sndrcvp.h (recompile)",
+        before=lambda: (Tcgmsg(), configs.ds20_syskonnect_jumbo()),
+        after=lambda: (Tcgmsg.recompiled(kb(128)), configs.ds20_syskonnect_jumbo()),
+    ),
+    TuningCase(
+        label="MPI/Pro tcp_long 32K->128K (GA620/PC, at 32 KB)",
+        knob="tcp_long",
+        before=lambda: (MpiPro(), configs.pc_netgear_ga620()),
+        after=lambda: (MpiPro.tuned(), configs.pc_netgear_ga620()),
+        metric="mbps_at:32768",
+    ),
+    TuningCase(
+        label="GM receive mode blocking->hybrid (latency, Myrinet/PC)",
+        knob="--gm-recv",
+        before=lambda: (RawGm(GmReceiveMode.BLOCKING), configs.pc_myrinet()),
+        after=lambda: (RawGm(), configs.pc_myrinet()),
+        metric="latency_us",
+    ),
+)
+
+
+def run_table_t3(sizes: Sequence[int] | None = None) -> list[dict]:
+    """Run every tuning case; returns before/after rows."""
+    rows = []
+    for case in TUNING_CASES:
+        before, after = case.run(sizes=sizes)
+        rows.append(
+            {
+                "label": case.label,
+                "knob": case.knob,
+                "metric": case.metric,
+                "before": before,
+                "after": after,
+                "gain": (
+                    before / after if case.metric == "latency_us" else after / before
+                ),
+            }
+        )
+    return rows
+
+
+def format_table_t3(rows: list[dict] | None = None) -> str:
+    """Render T3 as an aligned text table."""
+    rows = rows if rows is not None else run_table_t3()
+    lines = [
+        "T3 — tuning effects (before -> after)",
+        f"{'case':55} {'before':>9} {'after':>9} {'gain':>6}",
+    ]
+    for r in rows:
+        unit = "us" if r["metric"] == "latency_us" else "Mb/s"
+        lines.append(
+            f"{r['label']:55} {r['before']:>7.1f}{unit:>2} "
+            f"{r['after']:>7.1f}{unit:>2} {r['gain']:>5.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def audit_table_t3() -> list[AuditRow]:
+    """Check the T3 anchors (untuned/tuned endpoint values)."""
+    from repro.data.paper import anchors_for
+
+    ga620 = configs.pc_netgear_ga620()
+    runs = {
+        "MPICH (P4_SOCKBUFSIZE=32K)": run_netpipe(Mpich(), ga620),
+        "raw TCP (default buffers)": run_netpipe(
+            RawTcp.untuned(), configs.pc_trendnet(tuned=False)
+        ),
+        "PVM (daemon route)": run_netpipe(Pvm(), ga620),
+        "PVM (direct)": run_netpipe(Pvm.direct(), ga620),
+        "LAM/MPI (no -O)": run_netpipe(
+            LamMpi(LamParams(mode=LamMode.C2C)), ga620
+        ),
+        "LAM/MPI (lamd)": run_netpipe(LamMpi.with_daemons(), ga620),
+        "TCGMSG (SR_SOCK_BUF_SIZE=128K)": run_netpipe(
+            Tcgmsg.recompiled(kb(128)), configs.ds20_syskonnect_jumbo()
+        ),
+        "raw GM (blocking)": run_netpipe(
+            RawGm(GmReceiveMode.BLOCKING), configs.pc_myrinet()
+        ),
+    }
+    rows = []
+    for anchor in anchors_for("t3"):
+        measured, ok = anchor.check(runs[anchor.library])
+        rows.append(AuditRow(anchor=anchor, measured=measured, ok=ok))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# T4 — maximum-throughput matrix / % of raw
+# ---------------------------------------------------------------------------
+
+def run_table_t4() -> list[dict]:
+    """Max throughput and fraction-of-raw for every figure's curves."""
+    from repro.experiments.figures import ALL_FIGURES
+
+    raw_labels = {"fig1": "raw TCP", "fig2": "raw TCP", "fig3": "raw TCP",
+                  "fig4": "raw GM", "fig5": None}
+    rows = []
+    for fig in ALL_FIGURES:
+        results = fig.run()
+        raw_label = raw_labels[fig.id]
+        raw = results.get(raw_label) if raw_label else None
+        for label, r in results.items():
+            rows.append(
+                {
+                    "figure": fig.id,
+                    "library": label,
+                    "max_mbps": r.max_mbps,
+                    "latency_us": r.latency_us,
+                    "fraction_of_raw": (
+                        r.max_mbps / raw.max_mbps if raw is not None else None
+                    ),
+                }
+            )
+    return rows
+
+
+def format_table_t4(rows: list[dict] | None = None) -> str:
+    """Render T4 as an aligned text table."""
+    rows = rows if rows is not None else run_table_t4()
+    lines = [
+        "T4 — maximum throughput per library and configuration",
+        f"{'fig':5} {'library':22} {'max Mb/s':>9} {'lat us':>8} {'% of raw':>9}",
+    ]
+    for r in rows:
+        frac = f"{100 * r['fraction_of_raw']:>8.0f}%" if r["fraction_of_raw"] else "      --"
+        lines.append(
+            f"{r['figure']:5} {r['library']:22} {r['max_mbps']:>9.1f} "
+            f"{r['latency_us']:>8.1f} {frac:>9}"
+        )
+    return "\n".join(lines)

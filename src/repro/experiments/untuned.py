@@ -1,0 +1,50 @@
+"""The figure the paper didn't print: everything at default settings.
+
+Sec. 8: "All graphs presented here were after optimization of the
+available parameters.  A graph of the performance before optimization
+would show drastically different results."  This experiment *is* that
+graph: every library in its out-of-the-box configuration on an untuned
+RedHat 7.2 system (default sysctls), on the Netgear GA620 cards —
+the same hardware as figure 1.
+
+Expected drastic differences, all emergent:
+
+* MPICH collapses to ~75 Mb/s (default 32 KB P4_SOCKBUFSIZE against
+  the blocking p4 progress engine);
+* PVM crawls at ~90 Mb/s (daemon routing + pack/unpack);
+* LAM loses a third to data conversion (no -O);
+* MP_Lite asks the kernel for the maximum but the untuned sysctl caps
+  it at 32 KB — still fine on the forgiving AceNIC, throttled on
+  lesser NICs;
+* raw TCP itself is fine *on this NIC* — which is exactly why the
+  paper warns that GA620-only testing would hide the problem.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import configs
+from repro.experiments.harness import Experiment, ExperimentEntry
+from repro.mplib import LamMode, LamMpi, LamParams, Mpich, MpiPro, MpLite, Pvm, RawTcp, Tcgmsg
+
+_GA620_UNTUNED = configs.pc_netgear_ga620(tuned=False)
+
+FIG_UNTUNED = Experiment(
+    id="untuned",
+    title="Figure U — everything at defaults (the graph Sec. 8 alludes to)",
+    description=(
+        "Every library out of the box on an untuned RedHat 7.2 system, "
+        "Netgear GA620 cards between PCs.  Compare against figure 1 to "
+        "see what the paper's tuning pass was worth."
+    ),
+    entries=(
+        ExperimentEntry("raw TCP", RawTcp.untuned(), _GA620_UNTUNED),
+        ExperimentEntry("MPICH", Mpich(), _GA620_UNTUNED),
+        ExperimentEntry(
+            "LAM/MPI", LamMpi(LamParams(mode=LamMode.C2C)), _GA620_UNTUNED
+        ),
+        ExperimentEntry("MPI/Pro", MpiPro(), _GA620_UNTUNED),
+        ExperimentEntry("MP_Lite", MpLite(), _GA620_UNTUNED),
+        ExperimentEntry("PVM", Pvm(), _GA620_UNTUNED),
+        ExperimentEntry("TCGMSG", Tcgmsg(), _GA620_UNTUNED),
+    ),
+)

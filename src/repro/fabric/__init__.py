@@ -1,0 +1,16 @@
+"""Multi-node fabric: N ranks on one interconnect, with contention.
+
+The paper measures two idle nodes and notes the limits of that: "These
+measurements are not affected by ... the effect that a loaded CPU would
+have" and "Testing the performance within real applications would
+therefore be useful."  This package provides the substrate for those
+application-level experiments: an N-node cluster sharing a switch,
+where concurrent transfers contend for each node's injection (TX) and
+delivery (RX) ports exactly like a non-blocking crossbar with
+store-and-forward ports.
+"""
+
+from repro.fabric.network import Fabric, FabricMessage, PairEndpoint
+from repro.fabric.topology import Crossbar, TwoTierTree
+
+__all__ = ["Fabric", "FabricMessage", "PairEndpoint", "Crossbar", "TwoTierTree"]

@@ -1,0 +1,86 @@
+"""Switch topologies: beyond the single non-blocking crossbar.
+
+The paper's Giganet tests ran through one 8-port CL5000 switch; growing
+a 2002 cluster past a switch's port count meant cascading switches with
+a limited number of uplinks — and suddenly *topology* decided aggregate
+bandwidth.  This module adds a two-tier tree:
+
+* ranks are split into equal leaf groups, one leaf switch each;
+* traffic inside a leaf behaves like the crossbar;
+* traffic between leaves also traverses the source leaf's uplink and
+  the destination leaf's downlink, shared resources with
+  ``uplink_capacity`` parallel channels each — capacity 1 with big leaf
+  groups is the classic oversubscribed cluster where bisection traffic
+  collapses to the uplink rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Engine, Resource
+
+
+@dataclass(frozen=True)
+class Crossbar:
+    """The default single-switch model: no internal contention."""
+
+    def describe(self) -> str:
+        return "single non-blocking crossbar"
+
+
+@dataclass(frozen=True)
+class TwoTierTree:
+    """Leaf switches joined through a spine, limited uplinks per leaf.
+
+    :param leaf_size: ranks per leaf switch (the 8-port CL5000 -> 8)
+    :param uplink_capacity: concurrent inter-leaf transfers each leaf
+        can carry in each direction (1 = heavily oversubscribed; equal
+        to ``leaf_size`` = full bisection, crossbar-equivalent)
+    :param uplink_latency: extra one-way latency per switch tier hop
+    """
+
+    leaf_size: int = 8
+    uplink_capacity: int = 1
+    uplink_latency: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
+        if self.uplink_capacity < 1:
+            raise ValueError("uplink_capacity must be positive")
+        if self.uplink_latency < 0:
+            raise ValueError("uplink_latency must be non-negative")
+
+    def leaf_of(self, rank: int) -> int:
+        """Which leaf switch a rank hangs off."""
+        return rank // self.leaf_size
+
+    def describe(self) -> str:
+        return (
+            f"two-tier tree, {self.leaf_size} ranks/leaf, "
+            f"{self.uplink_capacity} uplink(s)/leaf"
+        )
+
+
+class TopologyPorts:
+    """Shared uplink/downlink resources for a TwoTierTree on an engine."""
+
+    def __init__(self, engine: Engine, topology: TwoTierTree, nranks: int):
+        self.topology = topology
+        nleaves = -(-nranks // topology.leaf_size)
+        self.uplinks = [
+            Resource(engine, topology.uplink_capacity) for _ in range(nleaves)
+        ]
+        self.downlinks = [
+            Resource(engine, topology.uplink_capacity) for _ in range(nleaves)
+        ]
+
+    def crossing(self, src: int, dst: int) -> tuple[Resource, Resource] | None:
+        """(src uplink, dst downlink) when the path leaves a leaf,
+        else None for intra-leaf traffic."""
+        src_leaf = self.topology.leaf_of(src)
+        dst_leaf = self.topology.leaf_of(dst)
+        if src_leaf == dst_leaf:
+            return None
+        return self.uplinks[src_leaf], self.downlinks[dst_leaf]

@@ -1,0 +1,26 @@
+"""Hardware models: hosts, PCI buses, NICs, and the paper's catalog.
+
+The paper's testbed is reconstructed here as parameterised cost models.
+``repro.hw.catalog`` holds the calibrated instances for every host and
+NIC the paper measured; experiments combine them into
+:class:`~repro.hw.cluster.ClusterConfig` objects.
+"""
+
+from repro.hw.pci import PciBus, PCI_32_33, PCI_64_33, PCI_64_66
+from repro.hw.host import HostModel
+from repro.hw.nic import NicModel, NicKind
+from repro.hw.cluster import ClusterConfig, SysctlConfig
+from repro.hw import catalog
+
+__all__ = [
+    "PciBus",
+    "PCI_32_33",
+    "PCI_64_33",
+    "PCI_64_66",
+    "HostModel",
+    "NicModel",
+    "NicKind",
+    "ClusterConfig",
+    "SysctlConfig",
+    "catalog",
+]

@@ -1,0 +1,243 @@
+"""Calibrated models of the paper's testbed hardware.
+
+Every number here is either quoted directly by the paper (prices, bus
+widths, link rates, MTUs) or calibrated so the *raw transport* curves
+match the paper's anchors (per-packet costs, latency adders, ack_rtt
+quirks).  Library-level curves are NOT calibrated — they emerge from the
+protocol models in :mod:`repro.mplib` running over these transports.
+
+Calibration anchors (see EXPERIMENTS.md for the full audit):
+
+* raw TCP tops out at 550 Mb/s on both Netgear GA620 and TrendNet cards
+  between the PCs, with ~120 us / ~140 us latencies (Sec. 4);
+* TrendNet flattens at 290 Mb/s with default socket buffers (Sec. 4);
+* SysKonnect + 9000 B MTU reaches 900 Mb/s at 48 us on the DS20s'
+  64-bit PCI, but only 710 Mb/s on the PCs' 32-bit PCI (Sec. 4);
+* raw GM reaches 800 Mb/s at 16 us on Myrinet PCI64A-2 (Sec. 5);
+* Giganet cLAN delivers ~800 Mb/s; M-VIA over SysKonnect reaches
+  425 Mb/s at 42 us, about what raw TCP gives there (Sec. 6).
+"""
+
+from __future__ import annotations
+
+from repro.hw.host import HostModel
+from repro.hw.nic import NicKind, NicModel
+from repro.hw.pci import PCI_32_33, PCI_64_33
+from repro.units import mbps, mbytes_per_s, us
+
+# ---------------------------------------------------------------------------
+# Hosts
+# ---------------------------------------------------------------------------
+
+#: The paper's workhorse: 1.8 GHz Pentium 4, 768 MB PC133, 32-bit/33 MHz
+#: PCI, around $1500 each.  PC133 SDRAM sustains roughly 200 MB/s for
+#: out-of-cache block copies, which is what makes the extra receive-side
+#: memcpy in MPICH/PVM cost 25-30 % of GigE throughput.
+PENTIUM4_PC = HostModel(
+    name="1.8 GHz Pentium 4 PC (PC133, RedHat 7.2, Linux 2.4)",
+    cpu_ghz=1.8,
+    memcpy_bandwidth=mbytes_per_s(200),
+    syscall_time=us(2.0),
+    interrupt_time=us(8.0),
+    sched_wakeup_time=us(5.0),
+    pci=PCI_32_33,
+)
+
+#: Compaq DS20: 500 MHz Alpha 21264, 64-bit/33 MHz PCI, a crossbar
+#: memory system noticeably faster than PC133.
+COMPAQ_DS20 = HostModel(
+    name="Compaq DS20 (500 MHz Alpha 21264, 64-bit PCI)",
+    cpu_ghz=0.5,
+    memcpy_bandwidth=mbytes_per_s(280),
+    syscall_time=us(1.5),
+    interrupt_time=us(6.0),
+    sched_wakeup_time=us(4.0),
+    pci=PCI_64_33,
+    cpus=2,  # "Two dual-processor Compaq DS20 computers" (Sec. 2)
+)
+
+# ---------------------------------------------------------------------------
+# Gigabit Ethernet NICs (Sec. 2 hardware table)
+# ---------------------------------------------------------------------------
+
+# Per-packet rx cost 13.8 us calibrates standard-MTU GigE receive to the
+# paper's 550 Mb/s plateau on the PCs:
+#   1448 B / (13.8 us + 1448 B / 200 MB/s) = 68.8 MB/s = 550 Mb/s.
+_GIGE_RX_US = 13.8
+_GIGE_TX_US = 5.0
+
+#: TrendNet TEG-PCITX, $55, "the new wave of low cost GigE NICs".
+#: The ns83820 driver's poor interrupt/ACK behaviour is the paper's
+#: poster child for socket-buffer sensitivity: ack_rtt 904 us puts the
+#: default-buffer (32 KB) plateau at 32768 B / 904 us = 290 Mb/s.
+TRENDNET_TEG_PCITX = NicModel(
+    name="TrendNet TEG-PCITX",
+    kind=NicKind.ETHERNET,
+    link_rate=mbps(1000),
+    driver="ns83820",
+    media="copper",
+    price_usd=55,
+    mtu_default=1500,
+    mtu_max=1500,
+    pci_64bit_capable=False,
+    tx_per_packet_time=us(_GIGE_TX_US),
+    rx_per_packet_time=us(_GIGE_RX_US),
+    wire_latency=us(104.0),  # -> 140 us one-way small-message latency on the PCs
+    ack_rtt=us(904.0),
+    link_efficiency=1.0,
+)
+
+#: Netgear GA622, $90 — electrically the TrendNet card plus 64-bit PCI
+#: capability; same ns83820 driver (and the same driver problems, which
+#: on the Alphas made "even raw TCP" poor — Sec. 7).
+NETGEAR_GA622 = NicModel(
+    name="Netgear GA622",
+    kind=NicKind.ETHERNET,
+    link_rate=mbps(1000),
+    driver="ns83820",
+    media="copper",
+    price_usd=90,
+    mtu_default=1500,
+    mtu_max=1500,
+    pci_64bit_capable=True,
+    tx_per_packet_time=us(_GIGE_TX_US),
+    rx_per_packet_time=us(_GIGE_RX_US),
+    wire_latency=us(104.0),
+    # The pre-2.4.17 ns83820 driver on the DS20s was unstable and slow
+    # (drops, DMA glitches, retransmissions); the paper reports "poor
+    # performance even for raw TCP" without a number.  The triple-size
+    # ack quirk and a 0.30 effective goodput model that qualitatively —
+    # "Newer ns8382x drivers ... show improved performance and
+    # stability" (Sec. 7).
+    ack_rtt=us(2700.0),
+    link_efficiency=0.30,
+)
+
+#: Netgear GA620 fiber, $220 — "mature hardware and drivers at a modest
+#: price" (AceNIC driver).  Its firmware does proper interrupt
+#: coalescing, so small socket buffers barely hurt: ack_rtt 300 us keeps
+#: even a 32 KB window above the 550 Mb/s per-packet ceiling.
+NETGEAR_GA620 = NicModel(
+    name="Netgear GA620 (fiber)",
+    kind=NicKind.ETHERNET,
+    link_rate=mbps(1000),
+    driver="acenic",
+    media="fiber",
+    price_usd=220,
+    mtu_default=1500,
+    mtu_max=9000,
+    pci_64bit_capable=True,
+    tx_per_packet_time=us(_GIGE_TX_US),
+    rx_per_packet_time=us(_GIGE_RX_US),
+    wire_latency=us(84.0),  # -> 120 us one-way latency on the PCs
+    ack_rtt=us(300.0),
+    link_efficiency=1.0,
+)
+
+#: SysKonnect SK-9843, $565 — "very low latency and high bandwidth when
+#: jumbo frames ... are enabled".  Its per-packet receive cost is higher
+#: than the AceNIC's (425 Mb/s at standard MTU on the PCs), but jumbo
+#: frames divide that cost by six and the 64-bit PCI of the DS20s lets
+#: it stream 900 Mb/s.
+SYSKONNECT_SK9843 = NicModel(
+    name="SysKonnect SK-9843",
+    kind=NicKind.ETHERNET,
+    link_rate=mbps(1000),
+    driver="sk98lin",
+    media="fiber",
+    price_usd=565,
+    mtu_default=1500,
+    mtu_max=9000,
+    pci_64bit_capable=True,
+    tx_per_packet_time=us(_GIGE_TX_US),
+    rx_per_packet_time=us(20.0),
+    wire_latency=us(9.0),  # -> 48 us one-way latency on the DS20s
+    ack_rtt=us(655.0),  # 32 KB window -> 400 Mb/s (the TCGMSG plateau, Sec. 7)
+    link_efficiency=0.91,  # flow-control pauses; 990 -> 900 Mb/s jumbo ceiling
+)
+
+#: Intel EtherExpress Pro/100 — the "more established Fast Ethernet
+#: technology" the paper contrasts with GigE: "You cannot just slap in
+#: a Gigabit Ethernet card and expect to achieve decent performance
+#: like you can with more established Fast Ethernet" (Sec. 4).  At
+#: 100 Mb/s the default 32 KB buffers and a mature driver are plenty:
+#: even the window-limited rate (32 KB / 400 us = 655 Mb/s) sits far
+#: above the wire.
+INTEL_EEPRO100 = NicModel(
+    name="Intel EtherExpress Pro/100",
+    kind=NicKind.ETHERNET,
+    link_rate=mbps(100),
+    driver="eepro100",
+    media="copper",
+    price_usd=30,
+    mtu_default=1500,
+    mtu_max=1500,
+    pci_64bit_capable=False,
+    tx_per_packet_time=us(_GIGE_TX_US),
+    rx_per_packet_time=us(_GIGE_RX_US),
+    wire_latency=us(45.0),
+    ack_rtt=us(400.0),
+    link_efficiency=1.0,
+)
+
+# ---------------------------------------------------------------------------
+# Proprietary interconnects (Sec. 5, 6)
+# ---------------------------------------------------------------------------
+
+#: Myrinet PCI64A-2 (66 MHz LANai), ~$1000/card plus switch ports.
+#: OS-bypass: per-packet host cost is tiny, the throughput ceiling is
+#: the PCI bus.  wire_latency calibrated to the 16 us GM latency.
+MYRINET_PCI64A = NicModel(
+    name="Myrinet PCI64A-2",
+    kind=NicKind.MYRINET,
+    link_rate=mbps(1280),
+    driver="gm-1.5",
+    media="lvds",
+    price_usd=1000,
+    mtu_default=4096,  # GM fragments messages into <=4 KB packets
+    mtu_max=9000,  # IP-over-GM runs a large MTU
+    pci_64bit_capable=True,
+    tx_per_packet_time=us(1.0),
+    rx_per_packet_time=us(1.0),
+    wire_latency=us(13.4),
+    ack_rtt=us(0.0),  # GM flow control is credit-based on the NIC, no quirk
+    link_efficiency=1.0,
+)
+
+#: Giganet CL (cLAN) hardware-VIA cards, ~$650 plus an 8-port switch at
+#: roughly $750/port.  Doorbell latency calibrated to the 10 us
+#: MVICH/MP_Lite result.
+GIGANET_CLAN = NicModel(
+    name="Giganet CL (cLAN)",
+    kind=NicKind.VIA_HARDWARE,
+    link_rate=mbps(1250),
+    driver="clan-2.0.1",
+    media="copper",
+    price_usd=650,
+    mtu_default=65536,  # VIA descriptors, not Ethernet frames
+    mtu_max=65536,
+    pci_64bit_capable=True,
+    tx_per_packet_time=us(0.5),
+    rx_per_packet_time=us(0.5),
+    wire_latency=us(5.5),
+    ack_rtt=us(0.0),
+    link_efficiency=1.0,
+)
+
+#: Sustained-DMA efficiency of OS-bypass NICs.  GM and cLAN firmware do
+#: large-burst DMA without per-descriptor kernel involvement, so they
+#: extract more of the 32-bit PCI bus than the TCP NICs: 133.3 MB/s *
+#: 0.755 = 100.7 MB/s = 805 Mb/s, the paper's 800 Mb/s ceiling for both.
+OS_BYPASS_PCI_EFFICIENCY = 0.755
+
+#: All NICs the paper tables in Sec. 2, for the T1 inventory.
+ALL_NICS = (
+    TRENDNET_TEG_PCITX,
+    NETGEAR_GA622,
+    NETGEAR_GA620,
+    SYSKONNECT_SK9843,
+    MYRINET_PCI64A,
+    GIGANET_CLAN,
+)
+
+ALL_HOSTS = (PENTIUM4_PC, COMPAQ_DS20)

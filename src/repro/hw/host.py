@@ -1,0 +1,69 @@
+"""Host (node) model: CPU, memory bus, OS costs.
+
+The paper's central observation about where performance goes is that
+*memory-to-memory copies* — not the wire — are the expensive part of a
+2002-era protocol stack: "This extra data movement results in the
+saturation of the main memory bus, which typically occurs well before
+the PCI bus gets saturated."  The host model therefore carries an
+explicit large-block ``memcpy`` bandwidth; every copy a protocol layer
+performs is charged against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.pci import PciBus
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Cost model of one cluster node.
+
+    :param name: human-readable identifier
+    :param cpu_ghz: clock rate (informational; per-packet costs are
+        already expressed in seconds for this host class)
+    :param memcpy_bandwidth: sustained large-block memcpy in bytes/s.
+        PC133 SDRAM on the P4 PCs manages roughly 200 MB/s for
+        out-of-cache copies; the DS20's crossbar does better.
+    :param syscall_time: one user/kernel boundary crossing (read/write)
+    :param interrupt_time: taking + servicing one NIC interrupt
+    :param sched_wakeup_time: waking a blocked process (latency adders
+        for blocking receives and daemon hand-offs)
+    :param pci: the I/O bus NICs in this host sit on
+    :param cpus: processor count — "Two dual-processor Compaq DS20
+        computers" (Sec. 2); matters when a progress thread competes
+        with the application for cycles
+    """
+
+    name: str
+    cpu_ghz: float
+    memcpy_bandwidth: float
+    syscall_time: float
+    interrupt_time: float
+    sched_wakeup_time: float
+    pci: PciBus
+    cpus: int = 1
+
+    def __post_init__(self) -> None:
+        if self.memcpy_bandwidth <= 0:
+            raise ValueError("memcpy bandwidth must be positive")
+        for attr in ("syscall_time", "interrupt_time", "sched_wakeup_time"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.cpus < 1:
+            raise ValueError("a host needs at least one CPU")
+
+    def copy_time(self, nbytes: int) -> float:
+        """Time for one CPU memory-to-memory copy of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.memcpy_bandwidth
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.cpu_ghz:g} GHz, "
+            f"memcpy {self.memcpy_bandwidth / 1e6:.0f} MB/s, "
+            f"{self.pci.describe()}"
+        )

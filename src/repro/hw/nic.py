@@ -1,0 +1,97 @@
+"""NIC model: link rate, per-packet driver costs, latency, quirks.
+
+Each NIC+driver pair from the paper is an instance of :class:`NicModel`.
+Two calibrated "quirk" parameters deserve explanation:
+
+``ack_rtt``
+    The effective round-trip the TCP window model divides by:
+    window-limited throughput is ``window_bytes / ack_rtt``.  Physically
+    this folds together interrupt coalescing, delayed ACKs and driver
+    descriptor-ring stalls — the reasons the paper's cheap TrendNet
+    cards collapse to 290 Mbps with default socket buffers while the
+    AceNIC-driven Netgear GA620s do not.  It is a per-driver property.
+
+``link_efficiency``
+    Fraction of theoretical payload rate actually deliverable (flow
+    control PAUSE frames, descriptor replenishment gaps).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import BITS_PER_BYTE
+
+
+class NicKind(enum.Enum):
+    """Transport family a NIC belongs to."""
+
+    ETHERNET = "ethernet"
+    MYRINET = "myrinet"
+    VIA_HARDWARE = "via"
+
+
+@dataclass(frozen=True)
+class NicModel:
+    """Cost/capability model of one network interface + driver.
+
+    :param name: marketing name as the paper gives it
+    :param kind: transport family
+    :param link_rate: raw signalling payload rate in bytes/s
+        (1 Gb/s Ethernet = 125e6)
+    :param driver: Linux driver name (informational + quirk grouping)
+    :param media: "copper" / "fiber" / "lvds"
+    :param price_usd: per-card price quoted in the paper
+    :param mtu_default: default MTU in bytes
+    :param mtu_max: largest configurable MTU (9000 for jumbo-capable)
+    :param pci_64bit_capable: whether the card can use a 64-bit slot
+    :param tx_per_packet_time: host CPU time to post one tx packet
+    :param rx_per_packet_time: host CPU time to receive one rx packet
+        (interrupt amortised by coalescing, protocol processing);
+        excludes the payload memcpy, which is charged to the host model
+    :param wire_latency: fixed one-way card+wire+driver latency adder
+    :param ack_rtt: effective window-model round trip (see module doc)
+    :param link_efficiency: usable fraction of the payload link rate
+    """
+
+    name: str
+    kind: NicKind
+    link_rate: float
+    driver: str
+    media: str
+    price_usd: float
+    mtu_default: int
+    mtu_max: int
+    pci_64bit_capable: bool
+    tx_per_packet_time: float
+    rx_per_packet_time: float
+    wire_latency: float
+    ack_rtt: float
+    link_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.link_rate <= 0:
+            raise ValueError("link rate must be positive")
+        if self.mtu_default > self.mtu_max:
+            raise ValueError("default MTU exceeds max MTU")
+        if not 0.0 < self.link_efficiency <= 1.0:
+            raise ValueError("link_efficiency must be in (0, 1]")
+        for attr in ("tx_per_packet_time", "rx_per_packet_time", "wire_latency", "ack_rtt"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+
+    @property
+    def supports_jumbo(self) -> bool:
+        """True when the card accepts an MTU of 9000 bytes."""
+        return self.mtu_max >= 9000
+
+    @property
+    def link_rate_mbps(self) -> float:
+        return self.link_rate * BITS_PER_BYTE / 1e6
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} ({self.media}, {self.driver} driver, "
+            f"${self.price_usd:g}, {self.link_rate_mbps:.0f} Mb/s link)"
+        )

@@ -1,0 +1,72 @@
+"""Protocol models of the paper's message-passing libraries.
+
+Each module reproduces one library's documented wire protocol and
+tunables:
+
+================  =========================================================
+Module            Library (paper section)
+================  =========================================================
+``raw_tcp``       NetPIPE's raw TCP module — the reference curve (Sec. 4)
+``mpich``         MPICH 1.2.x on the p4 channel device (Sec. 3.1)
+``lam``           LAM/MPI 6.5: -O client-to-client and lamd modes (3.2)
+``mpipro``        MPI/Pro: progress thread, tcp_long/via_long (3.3)
+``mplite``        MP_Lite 2.3: SIGIO progress, auto-max buffers (3.4)
+``pvm``           PVM 3.4: pvmd routing, PvmRouteDirect, DataInPlace (3.5)
+``tcgmsg``        TCGMSG 4.4: thin blocking TCP layer (3.6)
+``gm_libs``       Raw GM, MPICH-GM, MPI/Pro-GM, IP-over-GM (Sec. 5)
+``via_libs``      MVICH, MP_Lite/VIA, MPI/Pro/VIA on Giganet + M-VIA (6)
+================  =========================================================
+
+Every library implements :class:`~repro.mplib.base.MPLibrary`; the
+registry maps paper names to constructors.
+"""
+
+from repro.mplib.base import MPLibrary, LibEndpoint
+from repro.mplib.tcp_base import TcpLibSpec, Route
+from repro.mplib.raw_tcp import RawTcp
+from repro.mplib.mpich import Mpich, MpichParams
+from repro.mplib.mpich_mplite import MpichMpLite, MpichMpLiteParams
+from repro.mplib.lam import LamMpi, LamMode, LamParams
+from repro.mplib.mpipro import MpiPro, MpiProParams
+from repro.mplib.mplite import MpLite, MpLiteParams
+from repro.mplib.pvm import Pvm, PvmParams, PvmRoute, PvmEncoding
+from repro.mplib.tcgmsg import Tcgmsg, TcgmsgParams
+from repro.mplib.gm_libs import RawGm, MpichGm, MpiProGm, IpOverGm
+from repro.mplib.via_libs import Mvich, MvichParams, MpLiteVia, MpiProVia
+from repro.mplib.registry import REGISTRY, get_library, library_names
+
+__all__ = [
+    "MPLibrary",
+    "LibEndpoint",
+    "TcpLibSpec",
+    "Route",
+    "RawTcp",
+    "Mpich",
+    "MpichParams",
+    "MpichMpLite",
+    "MpichMpLiteParams",
+    "LamMpi",
+    "LamMode",
+    "LamParams",
+    "MpiPro",
+    "MpiProParams",
+    "MpLite",
+    "MpLiteParams",
+    "Pvm",
+    "PvmParams",
+    "PvmRoute",
+    "PvmEncoding",
+    "Tcgmsg",
+    "TcgmsgParams",
+    "RawGm",
+    "MpichGm",
+    "MpiProGm",
+    "IpOverGm",
+    "Mvich",
+    "MvichParams",
+    "MpLiteVia",
+    "MpiProVia",
+    "REGISTRY",
+    "get_library",
+    "library_names",
+]

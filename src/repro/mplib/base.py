@@ -1,0 +1,74 @@
+"""Abstract interface every message-passing library model implements.
+
+A library model plays two roles:
+
+* it can *build* a pair of simulated endpoints on a fresh event engine,
+  whose ``send``/``recv`` generators execute the library's wire protocol
+  over a :class:`~repro.net.channel.SimChannel` (this is what NetPIPE
+  drives);
+* it can *describe* itself: name, the transport it runs on, and its
+  effective tuning, for reports and analytic cross-checks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator
+
+from repro.hw.cluster import ClusterConfig
+from repro.net.base import LinkModel
+from repro.sim import Engine
+
+
+class LibEndpoint(abc.ABC):
+    """One rank's handle: MPI-style blocking send/recv as generators."""
+
+    @abc.abstractmethod
+    def send(self, nbytes: int) -> Generator:
+        """Blocking send of ``nbytes`` to the peer rank."""
+
+    @abc.abstractmethod
+    def recv(self, nbytes: int) -> Generator:
+        """Blocking receive of ``nbytes`` from the peer rank."""
+
+
+class MPLibrary(abc.ABC):
+    """A message-passing library model (one configuration thereof)."""
+
+    #: short registry key, e.g. "mpich"
+    name: str = "abstract"
+    #: name as the paper's figures label it, e.g. "MPICH"
+    display_name: str = "abstract"
+    #: True when the library progresses messages outside library calls
+    #: (MP_Lite's SIGIO engine, MPI/Pro's progress thread, NIC-driven GM
+    #: and VIA).  False for blocking-progress designs (MPICH's p4, LAM,
+    #: PVM, TCGMSG), whose outstanding transfers stall while the
+    #: application computes — the paper's Sec. 7 distinction.
+    progress_independent: bool = False
+
+    @abc.abstractmethod
+    def build(
+        self, engine: Engine, config: ClusterConfig
+    ) -> tuple[LibEndpoint, LibEndpoint]:
+        """Create the two connected endpoints on ``engine``."""
+
+    @abc.abstractmethod
+    def link_model(self, config: ClusterConfig) -> LinkModel:
+        """The underlying transport model this library drives."""
+
+    def build_endpoint(self, config: ClusterConfig, pair_endpoint) -> LibEndpoint:
+        """Wrap one fabric pair endpoint in this library's protocol.
+
+        Used by :mod:`repro.cluster` to assemble N-rank communicators;
+        ``pair_endpoint`` is any object with the two-node Endpoint API
+        (:class:`repro.fabric.PairEndpoint`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support multi-rank fabrics"
+        )
+
+    def describe(self, config: ClusterConfig) -> str:
+        return f"{self.display_name} over {self.link_model(config).describe()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

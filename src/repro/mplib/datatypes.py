@@ -1,0 +1,142 @@
+"""Derived datatypes: what sending non-contiguous data costs.
+
+The paper notes MP_Lite "does not support many of the advanced
+capabilities of MPI such as ... derived data types" — which matters
+because real workloads send strided data (the east/west faces of a
+row-major 2-D domain are columns).  Three strategies existed:
+
+* **USER_PACK** — the library only sends contiguous buffers (MP_Lite,
+  TCGMSG): the application packs into a scratch buffer first, and that
+  pack is *application compute* — it cannot overlap with anything.
+* **LIBRARY_PACK** — the library accepts a datatype and packs
+  internally into its staging buffer before injection (MPICH's
+  dataloop engine of the era): same copy cost, but folded into the
+  library call.
+* **PIPELINED_PACK** — the library packs chunk by chunk, overlapping
+  packing with injection (what progress-threaded implementations can
+  do): only a chunk of pack latency is exposed.
+
+Packing a strided layout is slower than a straight memcpy: every block
+restarts the copy loop and misses the prefetcher, so the model charges
+a per-block overhead on top of the byte cost.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.hw.host import HostModel
+from repro.units import us
+
+#: Per-block cost of a strided copy: loop + address arithmetic + the
+#: cache line the block straddles.  ~60 ns on the era's CPUs.
+STRIDED_BLOCK_OVERHEAD = 60e-9
+
+
+class Layout:
+    """Abstract memory layout of a message payload."""
+
+    @property
+    def nbytes(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def pack_time(self, host: HostModel) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Contiguous(Layout):
+    """One dense run of bytes; no packing needed."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+
+    @property
+    def nbytes(self) -> int:
+        return self.size
+
+    def pack_time(self, host: HostModel) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Strided(Layout):
+    """``count`` blocks of ``blocklen`` bytes, ``stride`` bytes apart.
+
+    A column of a row-major (nx x ny) double array is
+    ``Strided(count=nx, blocklen=8, stride=8 * ny)``.
+    """
+
+    count: int
+    blocklen: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.blocklen < 1:
+            raise ValueError("count and blocklen must be positive")
+        if self.stride < self.blocklen:
+            raise ValueError("stride must be at least the block length")
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.blocklen
+
+    def pack_time(self, host: HostModel) -> float:
+        """One gather pass into a contiguous scratch buffer."""
+        return self.nbytes / host.memcpy_bandwidth + self.count * STRIDED_BLOCK_OVERHEAD
+
+
+class DatatypeSupport(enum.Enum):
+    """How a library handles non-contiguous payloads."""
+
+    USER_PACK = "application packs manually"
+    LIBRARY_PACK = "library packs internally (serial)"
+    PIPELINED_PACK = "library packs in chunks, overlapped with injection"
+
+
+#: What each of the paper's libraries offered, per its documentation.
+LIBRARY_DATATYPE_SUPPORT: dict[str, DatatypeSupport] = {
+    "MPICH": DatatypeSupport.LIBRARY_PACK,
+    "LAM/MPI": DatatypeSupport.LIBRARY_PACK,
+    "MPI/Pro": DatatypeSupport.PIPELINED_PACK,
+    "MP_Lite": DatatypeSupport.USER_PACK,  # "does not support ... derived data types"
+    "PVM": DatatypeSupport.LIBRARY_PACK,  # pvm_pk* routines
+    "TCGMSG": DatatypeSupport.USER_PACK,  # SND/RCV of contiguous buffers only
+    "raw TCP": DatatypeSupport.USER_PACK,
+}
+
+#: Chunk whose pack latency stays exposed in the pipelined strategy.
+PIPELINED_PACK_CHUNK = 16 * 1024
+
+
+def exposed_pack_time(
+    layout: Layout, host: HostModel, support: DatatypeSupport
+) -> float:
+    """Pack time on the sender's critical path for one message.
+
+    USER_PACK and LIBRARY_PACK pay the full gather pass (they differ in
+    *where* the time is spent, which matters for overlap accounting,
+    not for a blocking send).  PIPELINED_PACK exposes only the first
+    chunk; the rest hides behind injection.
+    """
+    full = layout.pack_time(host)
+    if full == 0.0:
+        return 0.0
+    if support is DatatypeSupport.PIPELINED_PACK:
+        fraction = min(1.0, PIPELINED_PACK_CHUNK / max(layout.nbytes, 1))
+        return full * fraction
+    return full
+
+
+def support_for(library_display_name: str) -> DatatypeSupport:
+    """Datatype strategy for one of the paper's libraries."""
+    for key, value in LIBRARY_DATATYPE_SUPPORT.items():
+        if library_display_name.startswith(key):
+            return value
+    # Unknown (GM/VIA research stacks): contiguous-only, like MP_Lite.
+    return DatatypeSupport.USER_PACK

@@ -1,0 +1,127 @@
+"""Myrinet GM libraries: raw GM, MPICH-GM, MPI/Pro-GM, IP-over-GM (Sec. 5).
+
+Paper findings the models encode:
+
+* raw GM reaches 800 Mb/s with 16 us latency (36 us in blocking
+  receive mode; polling and hybrid are identical);
+* "MPICH-GM and MPI/Pro-GM results are nearly identical, losing only a
+  few percent off the raw GM performance in the intermediate range" —
+  the cost of the eager bounce-buffer copies before the 16 KB
+  eager/rendezvous threshold, which the paper notes "is already
+  optimal";
+* IP over GM pays the whole kernel stack again: 48 us latency and
+  GigE-class throughput — "little more than TCP over Gigabit Ethernet
+  ... but at a greater cost".
+"""
+
+from __future__ import annotations
+
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import LibEndpoint, MPLibrary
+from repro.mplib.oslib_base import OsBypassEndpoint, OsBypassLibrary, OsBypassSpec
+from repro.mplib.tcp_base import TcpLibrary, TcpLibSpec
+from repro.net.base import LinkModel
+from repro.net.channel import SimChannel
+from repro.net.gm import GmModel, GmReceiveMode, IpOverGmModel
+from repro.net.tcp import TcpModel
+from repro.sim import Engine
+from repro.units import kb, us
+
+#: GM's default eager/rendezvous threshold — "already optimal".
+GM_EAGER_THRESHOLD = kb(16)
+
+
+class RawGm(MPLibrary):
+    """NetPIPE's GM module: registered buffers, zero copies."""
+
+    #: GM transfers are driven by the LANai, not host library calls.
+    progress_independent = True
+
+    def __init__(self, receive_mode: GmReceiveMode = GmReceiveMode.HYBRID):
+        self.receive_mode = receive_mode
+        self.name = "raw-gm"
+        self.display_name = "raw GM"
+        if receive_mode is not GmReceiveMode.HYBRID:
+            self.name = f"raw-gm-{receive_mode.value}"
+            self.display_name = f"raw GM ({receive_mode.value})"
+
+    def link_model(self, config: ClusterConfig) -> GmModel:
+        return GmModel(config, self.receive_mode)
+
+    def build(self, engine: Engine, config: ClusterConfig):
+        channel = SimChannel(engine, self.link_model(config))
+        return (
+            _PassthroughEndpoint(channel.endpoints[0]),
+            _PassthroughEndpoint(channel.endpoints[1]),
+        )
+
+    def build_endpoint(self, config: ClusterConfig, pair_endpoint):
+        return _PassthroughEndpoint(pair_endpoint)
+
+
+class _PassthroughEndpoint(LibEndpoint):
+    """Zero-overhead endpoint: messages go straight onto the transport."""
+
+    def __init__(self, endpoint):
+        self.ep = endpoint
+
+    def send(self, nbytes: int):
+        yield from self.ep.send(nbytes, tag="data")
+
+    def recv(self, nbytes: int):
+        msg = yield from self.ep.recv(tag="data")
+        return msg
+
+
+class MpichGm(OsBypassLibrary):
+    """MPICH-GM 1.2.x (Myricom's MPICH port)."""
+
+    def __init__(
+        self,
+        eager_threshold: int = GM_EAGER_THRESHOLD,
+        receive_mode: GmReceiveMode = GmReceiveMode.HYBRID,
+    ):
+        super().__init__(
+            OsBypassSpec(
+                library="MPICH-GM",
+                eager_threshold=eager_threshold,
+                zero_copy_large=True,
+                latency_adder=us(1.5),
+            )
+        )
+        self.receive_mode = receive_mode
+
+    def base_link(self, config: ClusterConfig) -> LinkModel:
+        return GmModel(config, self.receive_mode)
+
+
+class MpiProGm(OsBypassLibrary):
+    """MPI/Pro's GM device — "nearly identical" to MPICH-GM, with the
+    progress thread's latency showing up as a slightly larger adder."""
+
+    def __init__(self, eager_threshold: int = GM_EAGER_THRESHOLD):
+        super().__init__(
+            OsBypassSpec(
+                library="MPI/Pro-GM",
+                eager_threshold=eager_threshold,
+                zero_copy_large=True,
+                latency_adder=us(3.0),
+            )
+        )
+
+    def base_link(self, config: ClusterConfig) -> LinkModel:
+        return GmModel(config)
+
+
+class IpOverGm(TcpLibrary):
+    """The kernel TCP stack over the GM interface (NetPIPE TCP module)."""
+
+    def __init__(self, sockbuf: int | None = kb(512)):
+        super().__init__(
+            TcpLibSpec(library="IP-GM", sockbuf_request=sockbuf, header_bytes=0)
+        )
+        self.name = "ip-gm"
+        self.display_name = "IP-GM"
+
+    def link_model(self, config: ClusterConfig) -> TcpModel:
+        return IpOverGmModel(config, self.spec.tuning(config))

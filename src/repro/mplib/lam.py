@@ -1,0 +1,96 @@
+"""LAM/MPI 6.5 (paper Sec. 3.2, 4.2).
+
+Three operating modes, all measured by the paper:
+
+* **C2C with -O** ("homogeneous"): direct client-to-client TCP with no
+  data conversion — "using -O brings the performance nearly to raw TCP
+  levels" on good NICs.  LAM never touches the socket buffer sizes, so
+  on NICs that need big buffers (TrendNet) it suffers "a 50 % loss in
+  performance" that is "apparently not user-tunable".
+* **C2C without -O**: LAM inserts a data-representation check/convert
+  pass on receive for heterogeneity; the paper measures 350 Mb/s
+  against raw TCP's 550 on the Netgear cards.
+* **lamd**: all traffic is routed through the lamd daemons for
+  monitoring/debugging, "greatly reducing the performance" — 260 Mb/s
+  and a doubled latency of 245 us.
+
+LAM's tiny/short/long protocol switches to a rendezvous at 64 KB (the
+"slight dip ... at the rendezvous threshold, which is apparently not
+user-tunable").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mplib.tcp_base import Route, TcpLibrary, TcpLibSpec
+from repro.units import kb, mbytes_per_s, us
+
+#: LAM's short/long protocol boundary (bytes); a compile-time constant.
+LAM_RENDEZVOUS_THRESHOLD = kb(64)
+
+#: Envelope processing per message.
+LAM_LATENCY_ADDER = us(6.0)
+
+#: Progress is made inside library calls; LAM's request engine is a bit
+#: less attentive than a raw socket loop.
+LAM_PROGRESS_STALL = us(50.0)
+
+#: Receive-side data conversion rate without -O (reader-makes-right
+#: check + convert pass).  Calibrated to the paper's 350 Mb/s.
+LAM_CONVERSION_RATE = mbytes_per_s(120)
+
+#: One lamd hop: UDP to the daemon, daemon forwards.  Calibrated to the
+#: paper's 260 Mb/s / 245 us lamd measurements on the Netgear cards.
+LAMD_BANDWIDTH = mbytes_per_s(123)
+LAMD_HOP_LATENCY = us(62.0)
+
+
+class LamMode(enum.Enum):
+    """How the job was launched (mpirun flags)."""
+
+    C2C_HOMOGENEOUS = "c2c -O"  # -O: skip data conversion
+    C2C = "c2c"  # default client-to-client
+    LAMD = "lamd"  # -lamd: route through the daemons
+
+
+@dataclass(frozen=True)
+class LamParams:
+    mode: LamMode = LamMode.C2C_HOMOGENEOUS
+
+
+class LamMpi(TcpLibrary):
+    """LAM/MPI over its TCP client-to-client (or lamd) path."""
+
+    def __init__(self, params: LamParams | None = None):
+        self.params = params or LamParams()
+        mode = self.params.mode
+        spec = TcpLibSpec(
+            library="LAM/MPI",
+            sockbuf_request=None,  # LAM never calls setsockopt for size
+            progress_stall=LAM_PROGRESS_STALL,
+            latency_adder=LAM_LATENCY_ADDER,
+            header_bytes=48,
+            eager_threshold=LAM_RENDEZVOUS_THRESHOLD,
+            conversion_rate=(LAM_CONVERSION_RATE if mode is LamMode.C2C else None),
+            route=Route.DAEMON if mode is LamMode.LAMD else Route.DIRECT,
+            daemon_bandwidth=LAMD_BANDWIDTH if mode is LamMode.LAMD else None,
+            daemon_latency=LAMD_HOP_LATENCY if mode is LamMode.LAMD else 0.0,
+        )
+        super().__init__(spec)
+        self.name = "lam"
+        self.display_name = "LAM/MPI"
+        if mode is not LamMode.C2C_HOMOGENEOUS:
+            self.name = f"lam-{'lamd' if mode is LamMode.LAMD else 'c2c'}"
+            self.display_name = f"LAM/MPI ({mode.value})"
+
+    @classmethod
+    def tuned(cls) -> "LamMpi":
+        """The paper's optimised configuration: mpirun -O."""
+        return cls(LamParams(mode=LamMode.C2C_HOMOGENEOUS))
+
+    @classmethod
+    def with_daemons(cls) -> "LamMpi":
+        """mpirun -lamd: monitoring enabled, performance sacrificed."""
+        return cls(LamParams(mode=LamMode.LAMD))

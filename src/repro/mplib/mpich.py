@@ -1,0 +1,84 @@
+"""MPICH 1.2.x on the p4 channel device (paper Sec. 3.1, 4.1).
+
+Protocol facts the model encodes, all from the paper:
+
+* **P4_SOCKBUFSIZE** (environment variable, default 32 KB) sets the
+  socket buffers and "is vital to maximizing the performance": raising
+  it to 256 KB took throughput from 75 to ~375 Mb/s — "a 5-fold
+  increase".
+* p4 is a *blocking channel device*: "Progress on data transfers is
+  only made during MPI library calls."  The single-threaded
+  read/write alternation services the socket so sluggishly that the
+  effective window-refill stall is millisecond-scale; this is why
+  MPICH is so sensitive to the socket buffer size (modelled as
+  ``P4_PROGRESS_STALL``).
+* p4 "receives all messages to a buffer rather than directing them to
+  the application memory when a receive has been pre-posted.  MPICH
+  therefore must use a memcpy to move all incoming data out of the p4
+  buffer, causing the loss in performance for large messages" — the
+  25-30 % large-message deficit of figures 1-3.  One serial
+  receive-side staging copy.
+* The **rendezvous cutoff** defaults to 128 KB and is a source-code
+  constant (``mpid/ch2/chinit.c``), not user-tunable: "The most
+  noticeable feature is the sharp dip at 128 kB in figure 1".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mplib.tcp_base import TcpLibrary, TcpLibSpec
+from repro.units import kb, us
+
+#: Effective window-refill stall of the blocking p4 progress engine.
+#: Calibrated so P4_SOCKBUFSIZE=32 KB yields ~75 Mb/s on the GA620s
+#: (32 KB / (300 us + 3000 us) = 79 Mb/s, minus the staging copy).
+P4_PROGRESS_STALL = us(3000.0)
+
+#: p4 message header (source, tag, length, mode words).
+P4_HEADER_BYTES = 40
+
+#: p4 control-path processing per message.
+P4_LATENCY_ADDER = us(8.0)
+
+
+@dataclass(frozen=True)
+class MpichParams:
+    """The user-visible (and source-code) tunables the paper discusses.
+
+    :param p4_sockbufsize: the P4_SOCKBUFSIZE environment variable
+    :param rendezvous_cutoff: the 128 KB constant in mpid/ch2/chinit.c;
+        changing it requires editing the source and recompiling
+    :param use_rndv: the historical ``-use_rndv`` configure flag; when
+        False large messages stay eager (no handshake, no dip)
+    """
+
+    p4_sockbufsize: int = kb(32)
+    rendezvous_cutoff: int = kb(128)
+    use_rndv: bool = True
+
+
+class Mpich(TcpLibrary):
+    """MPICH over the p4/TCP channel device."""
+
+    def __init__(self, params: MpichParams | None = None):
+        self.params = params or MpichParams()
+        p = self.params
+        super().__init__(
+            TcpLibSpec(
+                library="MPICH",
+                sockbuf_request=p.p4_sockbufsize,
+                progress_stall=P4_PROGRESS_STALL,
+                latency_adder=P4_LATENCY_ADDER,
+                header_bytes=P4_HEADER_BYTES,
+                eager_threshold=p.rendezvous_cutoff if p.use_rndv else None,
+                rx_staging_copies=1,
+            )
+        )
+        self.name = "mpich"
+        self.display_name = "MPICH"
+
+    @classmethod
+    def tuned(cls, sockbuf: int = kb(256)) -> "Mpich":
+        """MPICH after the paper's tuning: P4_SOCKBUFSIZE raised."""
+        return cls(MpichParams(p4_sockbufsize=sockbuf))

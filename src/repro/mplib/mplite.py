@@ -1,0 +1,59 @@
+"""MP_Lite 2.3 — the authors' own lightweight library (Sec. 3.4, 4.4).
+
+The paper's results come from "the SIGIO interrupt driven module that
+keeps data flowing through the TCP buffers by trapping SIGIO interrupts
+sent when data enters or leaves a TCP socket buffer.  Message progress
+is therefore maintained at all times."  Model consequences:
+
+* zero progress stall — the SIGIO handler refills the window the
+  moment the kernel signals buffer space;
+* no staging copies — data moves directly between user buffers and the
+  socket;
+* "MP_Lite increases the TCP socket buffer sizes up to the maximum
+  level allowed" — the only tuning is raising the sysctl limits
+  (net.core.rmem_max / wmem_max in /etc/sysctl.conf);
+* a minimal header and almost no per-message bookkeeping, so the
+  curves fall "within a few percent" of raw TCP everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mplib.tcp_base import TcpLibrary, TcpLibSpec
+from repro.units import us
+
+#: MP_Lite header processing (24-byte header, tiny dispatch).
+MPLITE_LATENCY_ADDER = us(3.0)
+
+
+@dataclass(frozen=True)
+class MpLiteParams:
+    """MP_Lite has no library-level tunables; this exists for symmetry
+    and to document that fact.  OS-level tuning (the sysctl maximums)
+    lives on the ClusterConfig."""
+
+
+class MpLite(TcpLibrary):
+    """MP_Lite's SIGIO-driven TCP module."""
+
+    #: "Message progress is therefore maintained at all times."
+    progress_independent = True
+
+    def __init__(self, params: MpLiteParams | None = None):
+        self.params = params or MpLiteParams()
+        super().__init__(
+            TcpLibSpec(
+                library="MP_Lite",
+                use_max_sockbuf=True,  # setsockopt(maximum the OS allows)
+                progress_stall=0.0,  # SIGIO keeps data flowing
+                latency_adder=MPLITE_LATENCY_ADDER,
+                header_bytes=24,
+            )
+        )
+        self.name = "mplite"
+        self.display_name = "MP_Lite"
+
+    @classmethod
+    def tuned(cls) -> "MpLite":
+        return cls()

@@ -1,0 +1,108 @@
+"""PVM 3.4 — Parallel Virtual Machine (paper Sec. 3.5, 4.5).
+
+PVM's performance spans a factor of five depending on two settings the
+paper walks through:
+
+* **Routing.**  "The default configuration will send all messages
+  through the pvmd daemons, which limits the performance greatly" —
+  about 90 Mb/s on Gigabit Ethernet.  ``pvm_setopt(PvmRoute,
+  PvmRouteDirect)`` opens a direct task-to-task socket: "a 4-fold
+  increase to a maximum of 330 Mb/s".
+* **Encoding.**  The default ``pvm_initsend(PvmDataDefault)`` packs the
+  data into a send buffer and unpacks on receive (two staging copies).
+  ``PvmDataInPlace`` "prevents copying of the data before ...
+  transmission, further increasing the maximum transfer rate to
+  415 Mb/s" — leaving only the receive-side unpack.
+
+PVM fragments messages (4 KB default fragment) and carries a
+per-fragment bookkeeping cost; it never enlarges socket buffers, so
+it inherits the OS default and suffers accordingly on the TrendNet
+cards (190 Mb/s in figure 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mplib.tcp_base import Route, TcpLibrary, TcpLibSpec
+from repro.units import kb, mbytes_per_s, us
+
+#: PVM's default message fragment.
+PVM_FRAGMENT_SIZE = 4096
+
+#: Per-fragment header/bookkeeping cost in the task library.
+PVM_FRAGMENT_COST = us(2.0)
+
+#: pvmd store-and-forward rate for one hop (task->pvmd->wire involves
+#: extra reads, writes and context switches per fragment).  Calibrated
+#: to the ~90 Mb/s daemon-routed ceiling.
+PVMD_BANDWIDTH = mbytes_per_s(30)
+PVMD_HOP_LATENCY = us(60.0)
+
+PVM_LATENCY_ADDER = us(15.0)
+PVM_PROGRESS_STALL = us(50.0)
+
+
+class PvmRoute(enum.Enum):
+    """pvm_setopt(PvmRoute, ...)"""
+
+    DEFAULT = "PvmDontRoute"  # through the pvmd daemons
+    DIRECT = "PvmRouteDirect"  # direct task-to-task TCP
+
+
+class PvmEncoding(enum.Enum):
+    """pvm_initsend(...) encoding."""
+
+    DEFAULT = "PvmDataDefault"  # pack + unpack through pvm buffers
+    RAW = "PvmDataRaw"  # pack without conversion (still copies)
+    IN_PLACE = "PvmDataInPlace"  # send from user memory directly
+
+
+@dataclass(frozen=True)
+class PvmParams:
+    route: PvmRoute = PvmRoute.DEFAULT
+    encoding: PvmEncoding = PvmEncoding.DEFAULT
+
+
+class Pvm(TcpLibrary):
+    """PVM task-to-task messaging."""
+
+    def __init__(self, params: PvmParams | None = None):
+        self.params = params or PvmParams()
+        p = self.params
+        # Send side: Default/Raw encodings pack into a pvm buffer first;
+        # InPlace sends straight from user memory.  Receive side always
+        # unpacks out of the receive buffer (pvm_upk*).
+        tx_copies = 0 if p.encoding is PvmEncoding.IN_PLACE else 1
+        daemon = p.route is PvmRoute.DEFAULT
+        super().__init__(
+            TcpLibSpec(
+                library="PVM",
+                sockbuf_request=None,
+                progress_stall=PVM_PROGRESS_STALL,
+                latency_adder=PVM_LATENCY_ADDER,
+                header_bytes=64,
+                tx_staging_copies=tx_copies,
+                rx_staging_copies=1,
+                fragment_size=PVM_FRAGMENT_SIZE,
+                fragment_cost=PVM_FRAGMENT_COST,
+                route=Route.DAEMON if daemon else Route.DIRECT,
+                daemon_bandwidth=PVMD_BANDWIDTH if daemon else None,
+                daemon_latency=PVMD_HOP_LATENCY if daemon else 0.0,
+            )
+        )
+        self.name = "pvm"
+        self.display_name = "PVM"
+        if p.route is PvmRoute.DIRECT or p.encoding is not PvmEncoding.DEFAULT:
+            self.display_name = f"PVM ({p.route.value}, {p.encoding.value})"
+
+    @classmethod
+    def tuned(cls) -> "Pvm":
+        """The paper's best configuration: direct route + DataInPlace."""
+        return cls(PvmParams(route=PvmRoute.DIRECT, encoding=PvmEncoding.IN_PLACE))
+
+    @classmethod
+    def direct(cls) -> "Pvm":
+        """Direct route, default encoding (the intermediate step)."""
+        return cls(PvmParams(route=PvmRoute.DIRECT))

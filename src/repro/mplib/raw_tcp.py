@@ -1,0 +1,39 @@
+"""NetPIPE's raw TCP module — the reference every library is judged by.
+
+Raw TCP has no protocol layer at all: no headers worth mentioning, no
+staging copies, no rendezvous, and NetPIPE itself services the socket
+in a tight loop (no progress stall).  Its only knob is the socket
+buffer size, which NetPIPE sets via ``-b``; the paper runs it both at
+the OS default (to show the TrendNet 290 Mb/s collapse) and tuned to
+512 KB.
+"""
+
+from __future__ import annotations
+
+from repro.mplib.tcp_base import TcpLibrary, TcpLibSpec
+from repro.units import kb
+
+
+class RawTcp(TcpLibrary):
+    """Raw TCP stream between two sockets.
+
+    :param sockbuf: bytes for SO_SNDBUF/SO_RCVBUF, or None to accept
+        the kernel default (the kernel clamps requests to the sysctl
+        maximum either way).
+    """
+
+    def __init__(self, sockbuf: int | None = kb(512)):
+        super().__init__(
+            TcpLibSpec(
+                library="raw TCP",
+                sockbuf_request=sockbuf,
+                header_bytes=0,
+            )
+        )
+        self.name = "raw-tcp"
+        self.display_name = "raw TCP"
+
+    @classmethod
+    def untuned(cls) -> "RawTcp":
+        """Raw TCP with the kernel-default socket buffers."""
+        return cls(sockbuf=None)

@@ -1,0 +1,53 @@
+"""Registry mapping library names to default (paper-tuned) instances."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mplib.base import MPLibrary
+from repro.mplib.gm_libs import IpOverGm, MpichGm, MpiProGm, RawGm
+from repro.mplib.lam import LamMpi
+from repro.mplib.mpich import Mpich
+from repro.mplib.mpich_mplite import MpichMpLite
+from repro.mplib.mpipro import MpiPro
+from repro.mplib.mplite import MpLite
+from repro.mplib.pvm import Pvm
+from repro.mplib.raw_tcp import RawTcp
+from repro.mplib.tcgmsg import Tcgmsg
+from repro.mplib.via_libs import MpLiteVia, MpiProVia, Mvich
+
+#: name -> zero-argument factory producing the paper's *optimised*
+#: configuration of each library (Sec. 8: "All graphs presented here
+#: were after optimization of the available parameters").
+REGISTRY: dict[str, Callable[[], MPLibrary]] = {
+    "raw-tcp": RawTcp,
+    "mpich": Mpich.tuned,
+    "mpich-mplite": MpichMpLite,
+    "lam": LamMpi.tuned,
+    "mpipro": MpiPro.tuned,
+    "mplite": MpLite.tuned,
+    "pvm": Pvm.tuned,
+    "tcgmsg": Tcgmsg,
+    "raw-gm": RawGm,
+    "mpich-gm": MpichGm,
+    "mpipro-gm": MpiProGm,
+    "ip-gm": IpOverGm,
+    "mvich": Mvich.tuned,
+    "mplite-via": MpLiteVia,
+    "mpipro-via": MpiProVia,
+}
+
+
+def library_names() -> list[str]:
+    """All registered library names."""
+    return sorted(REGISTRY)
+
+
+def get_library(name: str) -> MPLibrary:
+    """Instantiate the tuned configuration of a registered library."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        known = ", ".join(library_names())
+        raise KeyError(f"unknown library {name!r}; known: {known}") from None
+    return factory()

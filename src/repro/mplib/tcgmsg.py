@@ -1,0 +1,63 @@
+"""TCGMSG 4.4 — the Theoretical Chemistry Group toolkit (Sec. 3.6, 4.6).
+
+TCGMSG is "only a thin layer on top of TCP", unchanged since 1994, and
+"passes on nearly all the performance that TCP offers" — *except* that
+its socket buffer size is a compile-time constant:
+
+* ``SR_SOCK_BUF_SIZE`` in ``sndrcvp.h`` is hardwired to 32 KB;
+* on the GA620s (forgiving driver) that costs nothing and TCGMSG sits
+  on top of the raw TCP curve;
+* on the TrendNet cards it caps the library around 250 Mb/s, and on
+  the SysKonnect/DS20 jumbo configuration at 400 Mb/s — the paper's
+  Sec. 7 demonstration recompiles with 128 KB and watches throughput
+  jump to 900 Mb/s, matching raw TCP.
+
+TCGMSG's ``SND`` blocks until the matching ``RCV`` completes —
+synchronous semantics that NetPIPE's strict ping-pong cannot
+distinguish from eager sends, but which the paper warns "may affect
+real applications more".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mplib.tcp_base import TcpLibrary, TcpLibSpec
+from repro.units import kb, us
+
+#: Minimal header: type, length, node words.
+TCGMSG_HEADER_BYTES = 16
+
+TCGMSG_LATENCY_ADDER = us(4.0)
+
+
+@dataclass(frozen=True)
+class TcgmsgParams:
+    """:param sr_sock_buf_size: the hardwired constant in sndrcvp.h.
+    Changing it means editing the source and recompiling — there is no
+    run-time tunable, which is exactly the paper's complaint."""
+
+    sr_sock_buf_size: int = kb(32)
+
+
+class Tcgmsg(TcpLibrary):
+    """TCGMSG's SND/RCV over TCP."""
+
+    def __init__(self, params: TcgmsgParams | None = None):
+        self.params = params or TcgmsgParams()
+        super().__init__(
+            TcpLibSpec(
+                library="TCGMSG",
+                sockbuf_request=self.params.sr_sock_buf_size,
+                progress_stall=0.0,  # blocking read/write straight on TCP
+                latency_adder=TCGMSG_LATENCY_ADDER,
+                header_bytes=TCGMSG_HEADER_BYTES,
+            )
+        )
+        self.name = "tcgmsg"
+        self.display_name = "TCGMSG"
+
+    @classmethod
+    def recompiled(cls, sr_sock_buf_size: int = kb(256)) -> "Tcgmsg":
+        """TCGMSG rebuilt with a larger SR_SOCK_BUF_SIZE (Sec. 7)."""
+        return cls(TcgmsgParams(sr_sock_buf_size=sr_sock_buf_size))

@@ -1,0 +1,203 @@
+"""Generic machinery for TCP-based message-passing protocols.
+
+Every TCP library in the paper is, at wire level, a composition of the
+same ingredients; :class:`TcpLibSpec` names them and
+:class:`TcpLibEndpoint` executes them on the event engine:
+
+* **socket buffer policy** — what the library setsockopts (MPICH's
+  P4_SOCKBUFSIZE, TCGMSG's hardwired SR_SOCK_BUF_SIZE, MP_Lite's
+  "as much as the kernel allows", or nothing at all);
+* **progress engine** — how promptly the library services the socket:
+  attentive engines (SIGIO, progress thread) add no stall; MPICH's
+  blocking p4 device adds a large effective window-refill stall;
+* **eager/rendezvous threshold** — above it, a request-to-send /
+  clear-to-send handshake precedes the data (the paper's "dip");
+* **staging copies** — receive- or send-side memcpys through library
+  buffers, charged against the host memory bus (p4's buffered receive,
+  PVM's pack/unpack);
+* **data conversion** — heterogeneous-format encode/decode (LAM
+  without -O);
+* **fragmentation** — per-fragment bookkeeping cost (PVM's 4 KB
+  fragments);
+* **routing** — direct connection vs store-and-forward through
+  daemons (pvmd, lamd), which adds two hops of latency and a serial
+  daemon-bandwidth stage.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Generator
+
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import LibEndpoint, MPLibrary
+from repro.net.channel import Endpoint, SimChannel
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.sim import Engine
+
+
+class Route(enum.Enum):
+    """Message path: direct socket vs through the library's daemons."""
+
+    DIRECT = "direct"
+    DAEMON = "daemon"
+
+
+@dataclass(frozen=True)
+class TcpLibSpec:
+    """Complete protocol description of one TCP library configuration."""
+
+    library: str
+    #: bytes passed to setsockopt, None = never calls it (OS default)
+    sockbuf_request: int | None = None
+    #: request the sysctl maximum instead (MP_Lite's policy)
+    use_max_sockbuf: bool = False
+    #: effective window-refill stall of the progress engine (seconds)
+    progress_stall: float = 0.0
+    #: fixed per-message latency added by the library layer (seconds)
+    latency_adder: float = 0.0
+    #: protocol header prepended to each message (bytes)
+    header_bytes: int = 32
+    #: rendezvous handshake above this size; None = always eager
+    eager_threshold: int | None = None
+    #: serial receive-side staging copies (count)
+    rx_staging_copies: int = 0
+    #: serial send-side staging copies (count)
+    tx_staging_copies: int = 0
+    #: staging copies overlap with reception (progress thread); only a
+    #: pipeline-fill tail of this many bytes is charged per copy
+    overlap_copy_chunk: int | None = None
+    #: heterogeneous data conversion rate (bytes/s); None = none
+    conversion_rate: float | None = None
+    #: library fragments messages at this size (bytes); None = no cost
+    fragment_size: int | None = None
+    #: per-fragment CPU bookkeeping cost (seconds)
+    fragment_cost: float = 0.0
+    #: message path
+    route: Route = Route.DIRECT
+    #: store-and-forward bandwidth of one daemon hop (bytes/s)
+    daemon_bandwidth: float | None = None
+    #: latency of one daemon hop (seconds)
+    daemon_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.route is Route.DAEMON and not self.daemon_bandwidth:
+            raise ValueError("daemon route requires daemon_bandwidth")
+        if self.fragment_size is not None and self.fragment_size <= 0:
+            raise ValueError("fragment_size must be positive")
+        if self.header_bytes < 0:
+            raise ValueError("header_bytes must be non-negative")
+        if self.eager_threshold is not None and self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be non-negative")
+
+    def tuning(self, config: ClusterConfig) -> TcpTuning:
+        """Resolve this spec to concrete TCP-connection tuning."""
+        request = self.sockbuf_request
+        if self.use_max_sockbuf:
+            request = config.sysctl.maximum
+        return TcpTuning(
+            sockbuf_request=request,
+            progress_stall=self.progress_stall,
+            latency_adder=self.latency_adder,
+        )
+
+
+class TcpLibrary(MPLibrary):
+    """An MPLibrary driven entirely by a :class:`TcpLibSpec`."""
+
+    def __init__(self, spec: TcpLibSpec):
+        self.spec = spec
+        self.name = spec.library
+        self.display_name = spec.library
+
+    def link_model(self, config: ClusterConfig) -> TcpModel:
+        return TcpModel(config, self.spec.tuning(config))
+
+    def build(
+        self, engine: Engine, config: ClusterConfig
+    ) -> tuple["TcpLibEndpoint", "TcpLibEndpoint"]:
+        channel = SimChannel(engine, self.link_model(config))
+        return (
+            TcpLibEndpoint(self.spec, config, channel.endpoints[0]),
+            TcpLibEndpoint(self.spec, config, channel.endpoints[1]),
+        )
+
+    def build_endpoint(self, config: ClusterConfig, pair_endpoint) -> "TcpLibEndpoint":
+        return TcpLibEndpoint(self.spec, config, pair_endpoint)
+
+
+class TcpLibEndpoint(LibEndpoint):
+    """Executes a TcpLibSpec's protocol for one rank."""
+
+    def __init__(self, spec: TcpLibSpec, config: ClusterConfig, endpoint: Endpoint):
+        self.spec = spec
+        self.config = config
+        self.ep = endpoint
+        self.engine = endpoint.channel.engine
+
+    # -- cost helpers ----------------------------------------------------------
+    def _copy_time(self, nbytes: int) -> float:
+        return self.config.host.copy_time(nbytes)
+
+    def _staging_time(self, nbytes: int, copies: int) -> float:
+        """Serial staging-copy time, honouring progress-thread overlap."""
+        if copies == 0 or nbytes == 0:
+            return 0.0
+        if self.spec.overlap_copy_chunk is not None:
+            per_copy = self._copy_time(min(nbytes, self.spec.overlap_copy_chunk))
+        else:
+            per_copy = self._copy_time(nbytes)
+        return copies * per_copy
+
+    def _fragment_time(self, nbytes: int) -> float:
+        if self.spec.fragment_size is None or nbytes == 0:
+            return 0.0
+        nfrags = math.ceil(nbytes / self.spec.fragment_size)
+        return nfrags * self.spec.fragment_cost
+
+    def _daemon_hop_time(self, nbytes: int) -> float:
+        assert self.spec.daemon_bandwidth is not None
+        return self.spec.daemon_latency + nbytes / self.spec.daemon_bandwidth
+
+    def _is_rendezvous(self, nbytes: int) -> bool:
+        t = self.spec.eager_threshold
+        return t is not None and nbytes >= t
+
+    # -- protocol ---------------------------------------------------------------
+    def send(self, nbytes: int) -> Generator:
+        spec = self.spec
+        if spec.route is Route.DAEMON:
+            # Application -> local daemon: a store-and-forward hop.
+            yield self.engine.timeout(self._daemon_hop_time(nbytes))
+        tx_stage = self._staging_time(nbytes, spec.tx_staging_copies)
+        if tx_stage:
+            yield self.engine.timeout(tx_stage)
+        wire_bytes = nbytes + spec.header_bytes
+        if self._is_rendezvous(nbytes):
+            # Request-to-send / clear-to-send handshake, then the body.
+            yield from self.ep.send(spec.header_bytes, tag="rts")
+            yield from self.ep.recv(tag="cts")
+            yield from self.ep.send(wire_bytes, tag="data")
+        else:
+            yield from self.ep.send(wire_bytes, tag="data")
+
+    def recv(self, nbytes: int) -> Generator:
+        spec = self.spec
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.recv(tag="rts")
+            yield from self.ep.send(spec.header_bytes, tag="cts")
+        msg = yield from self.ep.recv(tag="data")
+        if spec.route is Route.DAEMON:
+            # Remote daemon -> application: the second hop.
+            yield self.engine.timeout(self._daemon_hop_time(nbytes))
+        rx_stage = self._staging_time(nbytes, spec.rx_staging_copies)
+        if rx_stage:
+            yield self.engine.timeout(rx_stage)
+        if spec.conversion_rate is not None and nbytes:
+            yield self.engine.timeout(nbytes / spec.conversion_rate)
+        frag = self._fragment_time(nbytes)
+        if frag:
+            yield self.engine.timeout(frag)
+        return msg

@@ -1,0 +1,35 @@
+"""Network transport models: TCP/Ethernet, Myrinet GM, VIA.
+
+Each transport is a :class:`~repro.net.base.LinkModel` — an analytic
+cost model of one connection between the two nodes of a
+:class:`~repro.hw.cluster.ClusterConfig` — plus a
+:class:`~repro.net.channel.SimChannel` that executes transfers on the
+discrete-event engine so message-passing protocols can be layered on
+top.
+"""
+
+from repro.net.base import LinkModel
+from repro.net.ethernet import EthernetFraming
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.net.tcp_packet import PacketTcpTransfer, TransferStats, packet_transfer_time
+from repro.net.gm import GmModel, GmReceiveMode, IpOverGmModel
+from repro.net.via import ViaModel, ViaFlavor
+from repro.net.channel import SimChannel, Endpoint, Message
+
+__all__ = [
+    "LinkModel",
+    "EthernetFraming",
+    "TcpModel",
+    "TcpTuning",
+    "PacketTcpTransfer",
+    "TransferStats",
+    "packet_transfer_time",
+    "GmModel",
+    "GmReceiveMode",
+    "IpOverGmModel",
+    "ViaModel",
+    "ViaFlavor",
+    "SimChannel",
+    "Endpoint",
+    "Message",
+]

@@ -1,0 +1,366 @@
+"""Packet-level TCP: the detailed cross-check for the fluid model.
+
+:class:`~repro.net.tcp.TcpModel` is a fluid approximation — rates and
+stalls, no individual segments.  This module simulates one TCP transfer
+segment by segment on the event engine:
+
+* the sender injects MSS-sized segments while the in-flight byte count
+  stays under ``min(cwnd, peer window, send buffer)``;
+* segments serialise on the wire (one link resource), pay per-segment
+  host costs on both sides, and arrive after the propagation delay;
+* the receiver acknowledges cumulatively — every second segment
+  immediately (the classic ack-every-other policy) and otherwise after
+  the driver's interrupt-coalescing / delayed-ACK interval, which is
+  the packet-level face of the fluid model's ``ack_rtt`` quirk;
+* optionally the congestion window starts cold (slow start, initial
+  window of two segments, doubling per RTT) — NetPIPE measures warm
+  connections, but the cold-start penalty is measurable here.
+
+The packet and fluid models are calibrated from the *same* NIC/host
+parameters; ``tests/test_tcp_packet.py`` cross-checks their plateaus
+and latencies against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.hw.cluster import ClusterConfig
+from repro.net.ethernet import EthernetFraming, WIRE_OVERHEAD, TCP_IP_OVERHEAD
+from repro.net.tcp import TcpTuning
+from repro.sim import Engine, Resource, Store
+
+
+#: Pure-ACK segment wire size (headers only).
+ACK_WIRE_BYTES = TCP_IP_OVERHEAD + WIRE_OVERHEAD
+
+
+@dataclass
+class TransferStats:
+    """Observability for one packet-level transfer."""
+
+    bytes_total: int = 0
+    segments_sent: int = 0
+    acks_sent: int = 0
+    segments_dropped: int = 0
+    retransmissions: int = 0
+    sender_stall_time: float = 0.0
+    completion_time: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        if self.completion_time <= 0:
+            return 0.0
+        return self.bytes_total / self.completion_time
+
+
+class PacketTcpTransfer:
+    """One message crossing one TCP connection, segment by segment."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: ClusterConfig,
+        tuning: TcpTuning | None = None,
+        cold_start: bool = False,
+        initial_cwnd_segments: int = 2,
+        loss_rate: float = 0.0,
+        loss_seed: int = 1,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.engine = engine
+        self.config = config
+        self.tuning = tuning or TcpTuning()
+        self.framing = EthernetFraming(config.effective_mtu)
+        self.cold_start = cold_start
+        self.loss_rate = loss_rate
+        self._loss_state = (loss_seed * 2654435761 % 2**32) or 1
+        self.sockbuf = config.sysctl.effective_bufsize(self.tuning.sockbuf_request)
+        self.mss = self.framing.mss
+        self.cwnd = (
+            initial_cwnd_segments * self.mss if cold_start else self.sockbuf
+        )
+        # Shared wire, one direction each (full duplex).
+        self._wire_fwd = Resource(engine, 1)
+        self._wire_rev = Resource(engine, 1)
+        self._acked_seen = 0
+        self._dup_acks = 0
+        self._fast_retx_start = -1
+        self._unacked: dict[int, tuple[int, int]] = {}
+        self._rx_segments: Store = Store(engine)  # cumulative seq arrivals
+        self._rx_progress: Store = Store(engine)  # receiver -> acker
+        self._acks: Store = Store(engine)  # cumulative acked byte count
+        self.stats = TransferStats()
+
+    # -- derived costs -----------------------------------------------------------
+    @property
+    def _effective_window(self) -> int:
+        """Bytes allowed in flight right now."""
+        return min(self.sockbuf, int(self.cwnd))
+
+    def _segment_wire_time(self, payload: int) -> float:
+        nic = self.config.nic
+        return self.framing.frame_time(payload, nic.link_rate) / nic.link_efficiency
+
+    @property
+    def _prop_delay(self) -> float:
+        return self.config.nic.wire_latency + self.config.path_latency_extra
+
+    @property
+    def _ack_delay(self) -> float:
+        """Interrupt-coalescing / delayed-ACK interval at the receiver.
+
+        This is the per-driver stall the fluid model folds into
+        ``ack_rtt``: the fluid model charges one ``ack_rtt`` per
+        window, i.e. the round trip a freed window waits before the
+        sender may refill it.  Subtracting the physical round trip
+        gives the receiver-side hold-back.
+        """
+        rtt_floor = 2 * self._prop_delay
+        stall = self.config.nic.ack_rtt + self.tuning.progress_stall
+        return max(0.0, stall - rtt_floor)
+
+    # -- the transfer ---------------------------------------------------------------
+    def run(self, nbytes: int) -> TransferStats:
+        """Simulate one ``nbytes`` transfer; returns its statistics."""
+        if nbytes <= 0:
+            raise ValueError("packet-level transfer needs a positive size")
+        self.stats = TransferStats(bytes_total=nbytes)
+        done = self.engine.event()
+        self.engine.process(self._sender(nbytes))
+        self.engine.process(self._receiver(nbytes, done))
+        start = self.engine.now
+        self.engine.run(until=done)
+        self.stats.completion_time = self.engine.now - start
+        return self.stats
+
+    @property
+    def _rto(self) -> float:
+        """Retransmission timeout: generously above the coalesced RTT."""
+        return 4 * (self.config.nic.ack_rtt + 2 * self._prop_delay) + 1e-3
+
+    def _sender(self, nbytes: int) -> Generator:
+        """Inject segments while the window allows.
+
+        The sender CPU (packetisation + copy) is serial per segment,
+        but wire transmission is spawned so DMA overlaps with the CPU
+        preparing the next segment — as real NICs pipeline.  With a
+        lossy link, unacknowledged segments are retransmitted on RTO
+        expiry (Tahoe-style: cwnd back to its initial value).
+        """
+        host, nic = self.config.host, self.config.nic
+        unsent = nbytes
+        sent = 0
+        self._acked = 0
+        self._acked_seen = 0  # kernel-side view (updated at ACK delivery)
+        self._dup_acks = 0
+        self._unacked: dict[int, tuple[int, int]] = {}  # start -> (payload, end)
+        if self.loss_rate > 0:
+            self.engine.process(self._rto_watchdog(nbytes))
+        yield self.engine.timeout(host.syscall_time)
+        while unsent > 0:
+            payload = min(self.mss, unsent)
+            while (sent - self._acked) + payload > self._effective_window:
+                t0 = self.engine.now
+                new_acked = yield self._acks.get()
+                self.stats.sender_stall_time += self.engine.now - t0
+                if self.cold_start:
+                    # Slow start: grow one MSS per ACK received.
+                    self.cwnd = min(self.cwnd + self.mss, self.sockbuf)
+                self._apply_ack(new_acked)
+            yield self.engine.timeout(
+                nic.tx_per_packet_time + payload / host.memcpy_bandwidth
+            )
+            self._unacked[sent] = (payload, sent + payload)
+            unsent -= payload
+            sent += payload
+            self.stats.segments_sent += 1
+            self.engine.process(self._transmit_segment(payload, sent))
+        # Drain remaining ACKs so the store never leaks getters.
+        while self._acked < nbytes:
+            self._apply_ack((yield self._acks.get()))
+
+    def _apply_ack(self, new_acked: int) -> None:
+        """Advance the sender's ack horizon and free acked segments."""
+        if new_acked > self._acked:
+            self._acked = new_acked
+            for start in [
+                s for s in self._unacked if self._unacked[s][1] <= self._acked
+            ]:
+                del self._unacked[start]
+
+    def _on_ack_delivered(self, acked_bytes: int) -> None:
+        """Kernel-side ACK processing, run at delivery time (the real
+        stack handles ACKs asynchronously, not when the application
+        happens to block): dup-ack counting, fast retransmit (Reno),
+        and congestion-avoidance window growth."""
+        if acked_bytes > self._acked_seen:
+            self._acked_seen = acked_bytes
+            self._dup_acks = 0
+            self._fast_retx_start = -1
+            if self.cwnd < self.sockbuf:
+                # Congestion avoidance: ~one MSS per window of acks.
+                self.cwnd = min(
+                    self.sockbuf, self.cwnd + self.mss * self.mss / self.cwnd
+                )
+            return
+        self._dup_acks += 1
+        if self._dup_acks >= 3 and self._unacked:
+            start = min(self._unacked)
+            if start == self._fast_retx_start:
+                return  # fast recovery: one retransmit per loss event
+            self._fast_retx_start = start
+            self._dup_acks = 0
+            payload, seq_end = self._unacked[start]
+            self.cwnd = max(2 * self.mss, self.cwnd / 2)  # multiplicative decrease
+            self.stats.retransmissions += 1
+            self.engine.process(self._transmit_segment(payload, seq_end))
+
+    def _rto_watchdog(self, nbytes: int) -> Generator:
+        """Retransmit the oldest unacked segment after an RTO of ACK
+        silence (kernel view), collapsing the window (Tahoe).  The
+        backstop for losses fast retransmit cannot recover (tail drops,
+        lost retransmits)."""
+        host, nic = self.config.host, self.config.nic
+        last_seen = 0
+        while self._acked_seen < nbytes:
+            yield self.engine.timeout(self._rto)
+            if self._acked_seen >= nbytes:
+                return
+            if self._acked_seen > last_seen:
+                last_seen = self._acked_seen  # progress: restart the timer
+                continue
+            if not self._unacked:
+                continue
+            start = min(self._unacked)
+            payload, seq_end = self._unacked[start]
+            self.cwnd = 2 * self.mss  # Tahoe: back to slow start
+            self.stats.retransmissions += 1
+            yield self.engine.timeout(
+                nic.tx_per_packet_time + payload / host.memcpy_bandwidth
+            )
+            self.engine.process(self._transmit_segment(payload, seq_end))
+
+    def _drop_this(self) -> bool:
+        """Deterministic (seeded LCG) per-segment drop decision."""
+        if self.loss_rate <= 0.0:
+            return False
+        self._loss_state = (self._loss_state * 1103515245 + 12345) % 2**31
+        return (self._loss_state / 2**31) < self.loss_rate
+
+    def _transmit_segment(self, payload: int, seq_end: int) -> Generator:
+        req = self._wire_fwd.request()
+        yield req
+        yield self.engine.timeout(self._segment_wire_time(payload))
+        self._wire_fwd.release(req)
+        if self._drop_this():
+            # The frame died on the wire/in the ring; the receiver
+            # never sees it.  Recovery is the sender's RTO.
+            self.stats.segments_dropped += 1
+            return
+        yield self.engine.timeout(self._prop_delay)
+        self._rx_segments.put((seq_end - payload, seq_end))
+
+    def _receiver(self, nbytes: int, done) -> Generator:
+        """Process arrivals serially on the receiver CPU; progress
+        notifications feed the independent ACK process.
+
+        Out-of-order segments (after a loss) are stashed and replayed
+        when the hole fills; the cumulative ACK stream never advances
+        past a hole — duplicate ACK values are what the sender's RTO
+        recovery sees as silence.
+        """
+        host, nic = self.config.host, self.config.nic
+        received = 0
+        ooo: dict[int, int] = {}  # start -> end
+        self.engine.process(self._acker(nbytes))
+        while received < nbytes:
+            start, end = yield self._rx_segments.get()
+            payload = end - start
+            yield self.engine.timeout(
+                nic.rx_per_packet_time + payload / host.memcpy_bandwidth
+            )
+            # Real TCP acks immediately on any disorder: an out-of-order
+            # arrival (duplicate ACK) or a hole fill — the delayed-ACK
+            # policy only applies to clean in-order streams.
+            urgent = False
+            if start > received:
+                ooo[start] = max(ooo.get(start, 0), end)
+                urgent = True
+            elif end > received:
+                filled_hole = bool(ooo)
+                received = end
+                while received in ooo:
+                    received = ooo.pop(received)
+                urgent = filled_hole
+            else:
+                urgent = True  # stale retransmit: re-ack what we have
+            self._rx_progress.put((received, urgent))
+        yield self.engine.timeout(host.sched_wakeup_time)
+        done.succeed(received)
+
+    def _acker(self, nbytes: int) -> Generator:
+        """Cumulative ACKs: every other segment, each *delayed* by the
+        driver's coalescing interval.
+
+        Interrupt mitigation is a delay line, not a serialiser: several
+        delayed notifications can be in flight at once, so the ACK
+        stream tracks the arrival stream offset by ``_ack_delay`` —
+        which is exactly the fluid model's ``window / ack_rtt``
+        steady state.  The final byte acks immediately (the application
+        is woken anyway).
+        """
+        # Ack every other segment — but never hold back more than a
+        # quarter of the peer's window (the kernel's window-update
+        # rule; with jumbo frames and small buffers this means acking
+        # every segment).  Urgent notifications (disorder at the
+        # receiver) bypass the delay entirely.
+        threshold = min(2 * self.mss, max(self.mss, self.sockbuf // 4))
+        scheduled = 0
+        while scheduled < nbytes:
+            latest, urgent = yield self._rx_progress.get()
+            while len(self._rx_progress):
+                more, more_urgent = yield self._rx_progress.get()
+                latest = max(latest, more)
+                urgent = urgent or more_urgent
+            if urgent:
+                scheduled = max(scheduled, latest)
+                self.engine.process(self._delayed_ack(latest, 0.0))
+                continue
+            if latest < nbytes and latest - scheduled < threshold:
+                continue
+            scheduled = latest
+            delay = 0.0 if latest >= nbytes else self._ack_delay
+            self.engine.process(self._delayed_ack(latest, delay))
+
+    def _delayed_ack(self, acked_bytes: int, delay: float) -> Generator:
+        if delay > 0:
+            yield self.engine.timeout(delay)
+        yield from self._send_ack(acked_bytes)
+
+    def _send_ack(self, acked_bytes: int) -> Generator:
+        req = self._wire_rev.request()
+        yield req
+        yield self.engine.timeout(ACK_WIRE_BYTES / self.config.nic.link_rate)
+        self._wire_rev.release(req)
+        self.stats.acks_sent += 1
+        self.engine.process(self._deliver_ack(acked_bytes))
+
+    def _deliver_ack(self, acked_bytes: int) -> Generator:
+        yield self.engine.timeout(self._prop_delay)
+        self._on_ack_delivered(acked_bytes)
+        self._acks.put(acked_bytes)
+
+
+def packet_transfer_time(
+    config: ClusterConfig,
+    nbytes: int,
+    tuning: TcpTuning | None = None,
+    cold_start: bool = False,
+) -> float:
+    """One-call packet-level transfer time (fresh engine)."""
+    engine = Engine()
+    transfer = PacketTcpTransfer(engine, config, tuning, cold_start=cold_start)
+    return transfer.run(nbytes).completion_time

@@ -1,0 +1,97 @@
+"""The real-socket NetPIPE sweep.
+
+Same methodology as :mod:`repro.core`, on wall-clock time: for each
+size in the schedule, bounce a message to the echo child and back
+``repeats`` times, take the mean RTT/2.  Repeats are auto-scaled so
+each trial runs at least ``min_trial_time`` (NetPIPE's own approach to
+timer granularity), with a warmup bounce per size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.results import NetPipePoint, NetPipeResult
+from repro.core.sizes import netpipe_sizes
+from repro.realnet.minimp import MiniMP, MiniMPConfig
+from repro.realnet.procs import start_pong
+from repro.realnet.transport import SocketConfig
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class RealNetPipe:
+    """A configured real-socket NetPIPE run."""
+
+    sock_config: SocketConfig = SocketConfig()
+    mp_config: MiniMPConfig = MiniMPConfig()
+    warmup: int = 1
+
+    def plan(self, sizes: Sequence[int]) -> list[tuple[int, int]]:
+        """[(size, total bounces incl. warmup), ...].
+
+        Both processes derive the identical plan, so the echo child
+        knows exactly how many bounces to serve per size.  Small
+        messages get more repeats (timer granularity), large ones fewer
+        (wall-clock budget) — NetPIPE's own balancing, deterministic.
+        """
+        plan = []
+        for size in sizes:
+            if size <= 4096:
+                repeats = 40
+            elif size <= 256 * 1024:
+                repeats = 12
+            else:
+                repeats = 4
+            plan.append((size, repeats + self.warmup))
+        return plan
+
+    def run(self, sizes: Sequence[int] | None = None, label: str = "MiniMP") -> NetPipeResult:
+        """Execute the sweep; returns a NetPipeResult on wall time."""
+        if sizes is None:
+            sizes = netpipe_sizes(stop=1 * MB)
+        plan = self.plan(sizes)
+        mp, proc = start_pong(self.sock_config, self.mp_config, plan)
+        points: list[NetPipePoint] = []
+        payload_pool = bytes(max(sizes))
+        try:
+            for size, bounces in plan:
+                payload = memoryview(payload_pool)[:size]
+                for _ in range(self.warmup):
+                    mp.send(payload)
+                    mp.recv(size)
+                repeats = bounces - self.warmup
+                t0 = time.perf_counter()
+                for _ in range(repeats):
+                    mp.send(payload)
+                    mp.recv(size)
+                elapsed = time.perf_counter() - t0
+                points.append(
+                    NetPipePoint(size=size, oneway_time=elapsed / repeats / 2.0)
+                )
+        finally:
+            mp.close()
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        config_desc = (
+            f"loopback TCP, sockbuf={self.sock_config.sockbuf or 'default'}, "
+            f"eager_threshold={self.mp_config.eager_threshold}"
+        )
+        return NetPipeResult(library=label, config=config_desc, points=points)
+
+
+def run_real_netpipe(
+    sizes: Sequence[int] | None = None,
+    sockbuf: int | None = None,
+    eager_threshold: int | None = 64 * 1024,
+    label: str = "MiniMP",
+) -> NetPipeResult:
+    """One-call real-socket sweep with the common knobs."""
+    harness = RealNetPipe(
+        sock_config=SocketConfig(sockbuf=sockbuf),
+        mp_config=MiniMPConfig(eager_threshold=eager_threshold),
+    )
+    return harness.run(sizes=sizes, label=label)

@@ -1,0 +1,106 @@
+"""Live TCP transport with the paper's tuning knobs.
+
+``SocketConfig`` exposes exactly the knobs the paper turns on real
+systems: SO_SNDBUF/SO_RCVBUF (the socket buffers) and TCP_NODELAY
+(Nagle).  ``connect_pair`` builds a connected (server, client) socket
+pair over loopback for in-process tests; the two-process harness in
+:mod:`repro.realnet.procs` uses the same configuration path.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.realnet.framing import (
+    KIND_BYE,
+    MessageHeader,
+    recv_message,
+    send_message,
+)
+
+
+@dataclass(frozen=True)
+class SocketConfig:
+    """Tuning applied to each end of the connection.
+
+    :param sockbuf: bytes for SO_SNDBUF and SO_RCVBUF, or None to
+        accept the kernel default (the kernel may round or clamp —
+        ``SocketTransport.effective_bufsizes`` reports what it granted)
+    :param nodelay: disable Nagle (TCP_NODELAY); ping-pong benchmarks
+        need this or sub-MSS messages wait for delayed ACKs
+    """
+
+    sockbuf: int | None = None
+    nodelay: bool = True
+
+    def apply(self, sock: socket.socket) -> None:
+        if self.sockbuf is not None:
+            if self.sockbuf <= 0:
+                raise ValueError("sockbuf must be positive")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self.sockbuf)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, self.sockbuf)
+        if self.nodelay:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class SocketTransport:
+    """A framed message transport over one connected TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.closed = False
+
+    def send(self, kind: int, tag: int, payload: bytes | memoryview = b"") -> None:
+        send_message(self.sock, kind, tag, payload)
+
+    def recv(self) -> tuple[MessageHeader, bytes]:
+        return recv_message(self.sock)
+
+    def effective_bufsizes(self) -> tuple[int, int]:
+        """(SO_SNDBUF, SO_RCVBUF) as the kernel actually set them."""
+        snd = self.sock.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+        rcv = self.sock.getsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF)
+        return snd, rcv
+
+    def close(self, *, send_bye: bool = False) -> None:
+        if self.closed:
+            return
+        try:
+            if send_bye:
+                self.send(KIND_BYE, 0)
+        except OSError:
+            pass
+        finally:
+            self.closed = True
+            self.sock.close()
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect_pair(
+    config: SocketConfig | None = None, host: str = "127.0.0.1"
+) -> tuple[SocketTransport, SocketTransport]:
+    """A connected (server_side, client_side) transport pair.
+
+    Socket buffers must be set *before* connect to influence the window
+    negotiation, exactly as the paper's libraries do.
+    """
+    config = config or SocketConfig()
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.bind((host, 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        config.apply(client)
+        client.connect((host, port))
+        server, _ = listener.accept()
+        config.apply(server)
+    finally:
+        listener.close()
+    return SocketTransport(server), SocketTransport(client)

@@ -1,0 +1,135 @@
+"""The discrete-event engine: a time-ordered heap of pending events.
+
+The engine owns simulated time.  Nothing in the simulation consults the
+wall clock; ``engine.now`` advances only when the engine pops the next
+event off its heap.  Ties are broken by insertion order (a sequence
+counter), which makes every run bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Timeout, AllOf, AnyOf
+
+
+class SimError(Exception):
+    """Raised for illegal simulation operations (deadlock, bad yields...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Typical use::
+
+        eng = Engine()
+
+        def worker(eng):
+            yield eng.timeout(1.5)
+            return "done"
+
+        proc = eng.process(worker(eng))
+        eng.run()
+        assert eng.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this repo)."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        """An event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """An event that fires when any event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new simulated process running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.  Raises SimError if none remain."""
+        if not self._heap:
+            raise SimError("no more events")
+        t, _, event = heapq.heappop(self._heap)
+        self._now = t
+        self.events_processed += 1
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, a time is reached, or an event fires.
+
+        * ``until=None`` — run to exhaustion.
+        * ``until=<float>`` — run until simulated time reaches that value.
+        * ``until=<Event>`` — run until that event has fired; returns its
+          value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimError(
+                        "deadlock: event heap drained before the awaited "
+                        "event fired (a process is waiting on something "
+                        "that can never happen)"
+                    )
+                self.step()
+            if not target.ok:
+                raise target.value
+            return target.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError("cannot run() to a time in the past")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

@@ -1,0 +1,109 @@
+"""Simulated processes: generators driven by the event engine.
+
+A process is itself an :class:`~repro.sim.events.Event` that fires when
+the generator returns, carrying the generator's return value.  This lets
+processes wait on each other directly (``yield other_process``), which is
+how the ping and pong sides of a NetPIPE trial synchronise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Engine, Interrupt, SimError
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    Created via :meth:`Engine.process`.  The wrapped generator yields
+    events; each yielded event suspends the process until it fires, at
+    which point the event's value is sent back into the generator (or its
+    exception is thrown in).
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, engine: Engine, generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Engine.process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(engine)
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process asynchronously at the current instant.
+        start = Event(engine)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not yet returned or raised."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on whatever event it yielded (the event
+        itself is untouched and may still fire later).
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        waited = self._waiting_on
+        if waited is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        kick = Event(self.engine)
+        kick.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
+        kick.succeed(None)
+
+    # -- internal ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._advance(lambda: self.generator.send(event.value))
+        else:
+            self._advance(lambda: self.generator.throw(event.value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._advance(lambda: self.generator.throw(exc))
+
+    def _advance(self, step) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # The process died; propagate through anyone waiting on it.
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                raise
+            return
+        if not isinstance(target, Event):
+            raise SimError(
+                f"process yielded {target!r}; processes must yield Event "
+                "instances (timeout(), resource.request(), store.get(), "
+                "another process, ...)"
+            )
+        if target.engine is not self.engine:
+            raise SimError("process yielded an event from a different engine")
+        if target.processed:
+            # Already fired: resume immediately (but asynchronously, to
+            # preserve deterministic ordering).
+            kick = Event(self.engine)
+            kick.callbacks.append(lambda ev: self._resume(target))
+            kick.succeed(None)
+        else:
+            target.callbacks.append(self._resume)
+        self._waiting_on = target

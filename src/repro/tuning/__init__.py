@@ -1,0 +1,40 @@
+"""Tuning framework: the paper's Sec. 8 recommendations, executable.
+
+The paper's conclusion is a tuning manifesto: defaults are stale,
+the vital knobs (socket buffers, rendezvous thresholds) are often not
+user-tunable, and "tuning a few simple parameters can increase the
+communication performance by as much as a factor of 5".  This package
+provides:
+
+* :mod:`~repro.tuning.params` — a registry of every tunable the paper
+  names, with its mechanism (env var, run-time option, source-code
+  constant, sysctl) and its default/tuned values;
+* :mod:`~repro.tuning.optimizer` — parameter sweeps and a simple
+  auto-tuner that finds the knee of the buffer-size curve.
+"""
+
+from repro.tuning.params import (
+    Mechanism,
+    TunableParam,
+    PARAM_REGISTRY,
+    params_for,
+    format_registry,
+)
+from repro.tuning.optimizer import (
+    SweepPoint,
+    TuningOutcome,
+    sweep_parameter,
+    autotune_sockbuf,
+)
+
+__all__ = [
+    "Mechanism",
+    "TunableParam",
+    "PARAM_REGISTRY",
+    "params_for",
+    "format_registry",
+    "SweepPoint",
+    "TuningOutcome",
+    "sweep_parameter",
+    "autotune_sockbuf",
+]

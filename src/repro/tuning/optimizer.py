@@ -1,0 +1,108 @@
+"""Parameter sweeps and a simple auto-tuner.
+
+``sweep_parameter`` is the workhorse: give it a factory from parameter
+value to library instance and it maps out the metric across values.
+``autotune_sockbuf`` reproduces what a cluster admin following the
+paper's advice would do: keep doubling the socket buffer until the
+plateau stops improving, and report the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.results import NetPipeResult
+from repro.core.runner import run_netpipe
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+from repro.units import kb
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, measured metric) sample."""
+
+    value: object
+    metric: float
+    result: NetPipeResult
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """Result of an auto-tuning run."""
+
+    best_value: object
+    best_metric: float
+    baseline_metric: float
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def improvement(self) -> float:
+        """best / baseline — the paper's 'factor of 5' style number."""
+        return self.best_metric / self.baseline_metric
+
+
+def _metric(result: NetPipeResult, metric: str) -> float:
+    if metric == "plateau_mbps":
+        return result.plateau_mbps
+    if metric == "max_mbps":
+        return result.max_mbps
+    if metric == "latency_us":
+        return -result.latency_us  # larger-is-better convention
+    if metric.startswith("mbps_at:"):
+        return result.mbps_at(int(metric.split(":", 1)[1]))
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def sweep_parameter(
+    make_library: Callable[[object], MPLibrary],
+    values: Sequence[object],
+    config: ClusterConfig,
+    metric: str = "plateau_mbps",
+    sizes: Sequence[int] | None = None,
+) -> list[SweepPoint]:
+    """Measure ``metric`` for each parameter value."""
+    if not values:
+        raise ValueError("no parameter values to sweep")
+    points = []
+    for value in values:
+        result = run_netpipe(make_library(value), config, sizes=sizes)
+        points.append(SweepPoint(value=value, metric=_metric(result, metric), result=result))
+    return points
+
+
+def autotune_sockbuf(
+    make_library: Callable[[int], MPLibrary],
+    config: ClusterConfig,
+    start: int = kb(8),
+    limit: int = kb(2048),
+    knee_tolerance: float = 0.03,
+    metric: str = "plateau_mbps",
+    sizes: Sequence[int] | None = None,
+) -> TuningOutcome:
+    """Double the buffer until the metric stops improving.
+
+    Returns the smallest buffer within ``knee_tolerance`` of the best
+    observed metric — the knee, i.e. the paper's recommended setting
+    without wasting memory ("512 kB socket buffer sizes should not
+    place too high of a burden ... in most moderately sized clusters").
+    """
+    if start <= 0 or limit < start:
+        raise ValueError("need 0 < start <= limit")
+    values = []
+    v = start
+    while v <= limit:
+        values.append(v)
+        v *= 2
+    points = sweep_parameter(make_library, values, config, metric=metric, sizes=sizes)
+    best = max(points, key=lambda p: p.metric)
+    knee = next(
+        p for p in points if p.metric >= best.metric * (1.0 - knee_tolerance)
+    )
+    return TuningOutcome(
+        best_value=knee.value,
+        best_metric=knee.metric,
+        baseline_metric=points[0].metric,
+        points=tuple(points),
+    )

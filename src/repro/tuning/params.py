@@ -1,0 +1,164 @@
+"""Registry of every tunable parameter the paper discusses.
+
+Sec. 8: "They all need to provide user-tunable parameters for the most
+important optimizations, such as the socket buffer sizes and the
+rendezvous threshold."  The registry records, for each library, which
+knobs exist and *how* they must be changed — the paper's repeated
+complaint is that several require editing source code and recompiling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import kb, us
+
+
+class Mechanism(enum.Enum):
+    """How a parameter is changed in the real library."""
+
+    ENV = "environment variable"
+    RUNTIME = "run-time option"
+    SOURCE = "source-code constant (recompile)"
+    SYSCTL = "kernel sysctl"
+    NONE = "not tunable at all"
+
+
+@dataclass(frozen=True)
+class TunableParam:
+    """One knob: where it lives and what the paper set it to."""
+
+    library: str
+    name: str
+    mechanism: Mechanism
+    default: object
+    paper_tuned: object
+    effect: str
+
+    @property
+    def user_tunable(self) -> bool:
+        """Changeable without editing source code."""
+        return self.mechanism in (Mechanism.ENV, Mechanism.RUNTIME, Mechanism.SYSCTL)
+
+
+PARAM_REGISTRY: tuple[TunableParam, ...] = (
+    TunableParam(
+        "OS", "net.core.rmem_max / wmem_max", Mechanism.SYSCTL,
+        kb(32), kb(512),
+        "ceiling on socket buffers any library can request; the paper "
+        "raises it in /etc/sysctl.conf",
+    ),
+    TunableParam(
+        "raw TCP", "SO_SNDBUF/SO_RCVBUF (-b)", Mechanism.RUNTIME,
+        None, kb(512),
+        "socket buffers; doubles raw TrendNet throughput (290->550)",
+    ),
+    TunableParam(
+        "MPICH", "P4_SOCKBUFSIZE", Mechanism.ENV,
+        kb(32), kb(256),
+        "socket buffers + p4 chunking; 'vital' — a 5x effect (75->375)",
+    ),
+    TunableParam(
+        "MPICH", "rendezvous cutoff", Mechanism.SOURCE,
+        kb(128), kb(128),
+        "mpid/ch2/chinit.c and mpid/ch_p4/chcancel.c constants; the "
+        "sharp 128 KB dip in figure 1",
+    ),
+    TunableParam(
+        "MPICH", "p4sctrl / P4_WINSHIFT", Mechanism.ENV,
+        "defaults", "defaults",
+        "'did not help in these tests'",
+    ),
+    TunableParam(
+        "LAM/MPI", "-O (homogeneous)", Mechanism.RUNTIME,
+        False, True,
+        "skips data conversion; 350 -> ~550 Mb/s on the Netgear cards",
+    ),
+    TunableParam(
+        "LAM/MPI", "-lamd (daemon routing)", Mechanism.RUNTIME,
+        False, False,
+        "monitoring/debugging at the cost of 260 Mb/s and 245 us",
+    ),
+    TunableParam(
+        "LAM/MPI", "socket buffer size", Mechanism.NONE,
+        kb(32), kb(32),
+        "'apparently not user-tunable' — the 50 % TrendNet loss",
+    ),
+    TunableParam(
+        "MPI/Pro", "tcp_long", Mechanism.RUNTIME,
+        kb(32), kb(128),
+        "rendezvous threshold; removes the dip at 32 KB",
+    ),
+    TunableParam(
+        "MPI/Pro", "tcp_buffers", Mechanism.RUNTIME,
+        "default", "default",
+        "'did not help in the NetPIPE tests'",
+    ),
+    TunableParam(
+        "MP_Lite", "socket buffers", Mechanism.SYSCTL,
+        "OS max", "OS max",
+        "automatically raised to the maximum the kernel allows; tune "
+        "the sysctl, not the library",
+    ),
+    TunableParam(
+        "PVM", "PvmRoute", Mechanism.RUNTIME,
+        "PvmDontRoute", "PvmRouteDirect",
+        "bypass the pvmd daemons: 90 -> 330 Mb/s ('a 4-fold increase')",
+    ),
+    TunableParam(
+        "PVM", "pvm_initsend encoding", Mechanism.RUNTIME,
+        "PvmDataDefault", "PvmDataInPlace",
+        "skip the send-side pack copy: 330 -> 415 Mb/s",
+    ),
+    TunableParam(
+        "TCGMSG", "SR_SOCK_BUF_SIZE", Mechanism.SOURCE,
+        kb(32), kb(256),
+        "hardwired in sndrcvp.h; recompiling with 128 KB on the DS20s "
+        "took TCGMSG from 400 to 900 Mb/s",
+    ),
+    TunableParam(
+        "GM", "--gm-recv", Mechanism.RUNTIME,
+        "polling", "hybrid",
+        "receive mode; blocking costs 20 us of latency, hybrid is "
+        "recommended (polling results without the CPU burn)",
+    ),
+    TunableParam(
+        "GM", "eager/rendezvous threshold", Mechanism.RUNTIME,
+        kb(16), kb(16),
+        "'the default ... is already optimal'",
+    ),
+    TunableParam(
+        "MVICH", "VIADEV_RPUT_SUPPORT", Mechanism.SOURCE,
+        False, True,
+        "'vital to get good performance' (RDMA-write large path)",
+    ),
+    TunableParam(
+        "MVICH", "via_long", Mechanism.RUNTIME,
+        kb(16), kb(64),
+        "rendezvous threshold; 64 KB removes the dip, higher froze",
+    ),
+    TunableParam(
+        "MVICH", "VIADEV_SPIN_COUNT", Mechanism.RUNTIME,
+        1000, 100000,
+        "receive spin before sleeping; raising it helped mid-range",
+    ),
+)
+
+
+def params_for(library: str) -> list[TunableParam]:
+    """All registered knobs for one library (case-insensitive)."""
+    return [p for p in PARAM_REGISTRY if p.library.lower() == library.lower()]
+
+
+def format_registry() -> str:
+    """The registry as an aligned text table."""
+    lines = [
+        f"{'library':9} {'parameter':32} {'mechanism':34} {'tunable':8}",
+    ]
+    for p in PARAM_REGISTRY:
+        lines.append(
+            f"{p.library:9} {p.name:32} {p.mechanism.value:34} "
+            f"{'yes' if p.user_tunable else 'NO':8}"
+        )
+    return "\n".join(lines)

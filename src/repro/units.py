@@ -1,0 +1,49 @@
+"""Unit conventions and conversion helpers.
+
+Everything inside :mod:`repro` uses SI base units:
+
+* time    — seconds
+* size    — bytes
+* rate    — bytes per second
+
+The paper (and all networking literature) quotes megabits per second and
+microseconds, so conversions live here and nowhere else.  NetPIPE's
+"Mbps" is decimal: 1 Mbps = 10**6 bits/s.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def us(microseconds: float) -> float:
+    """Microseconds -> seconds."""
+    return microseconds * 1e-6
+
+
+def to_us(seconds: float) -> float:
+    """Seconds -> microseconds."""
+    return seconds * 1e6
+
+
+def mbps(megabits_per_second: float) -> float:
+    """Decimal megabits per second -> bytes per second."""
+    return megabits_per_second * 1e6 / BITS_PER_BYTE
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Bytes per second -> decimal megabits per second."""
+    return bytes_per_second * BITS_PER_BYTE / 1e6
+
+
+def mbytes_per_s(megabytes_per_second: float) -> float:
+    """Decimal megabytes per second -> bytes per second."""
+    return megabytes_per_second * 1e6
+
+
+def kb(kibibytes: float) -> int:
+    """Binary kilobytes (KiB, as the paper's '32 kb' buffers) -> bytes."""
+    return int(kibibytes * KB)

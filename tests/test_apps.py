@@ -1,0 +1,135 @@
+"""Application workloads: the paper's Sec. 7 predictions, quantified."""
+
+import pytest
+
+from repro.apps import (
+    run_halo_exchange,
+    run_overlap_probe,
+    run_task_farm,
+    run_transpose,
+)
+from repro.apps.halo import _grid_shape
+from repro.experiments import configs
+from repro.mplib import LamMpi, Mpich, MpiPro, MpLite, Pvm, RawGm, Tcgmsg
+from repro.units import MB, kb, us
+
+CFG = configs.pc_netgear_ga620()
+
+
+# -- overlap probe ------------------------------------------------------------------
+def test_sigio_and_progress_thread_overlap_fully():
+    """Sec. 7: MPI/Pro's progress thread and MP_Lite's SIGIO engine
+    'will keep data flowing more readily'."""
+    for lib in (MpLite(), MpiPro.tuned()):
+        r = run_overlap_probe(lib, CFG)
+        assert r.overlap_efficiency > 0.9, lib.display_name
+
+
+def test_blocking_progress_libraries_cannot_overlap():
+    for lib in (Mpich.tuned(), Tcgmsg(), Pvm.tuned(), LamMpi.tuned()):
+        r = run_overlap_probe(lib, CFG)
+        assert r.overlap_efficiency < 0.2, lib.display_name
+
+
+def test_nic_driven_gm_overlaps():
+    r = run_overlap_probe(RawGm(), configs.pc_myrinet())
+    assert r.overlap_efficiency > 0.9
+
+
+def test_overlap_result_arithmetic():
+    r = run_overlap_probe(MpLite(), CFG, compute_ratio=1.0)
+    assert r.combined_time <= r.compute_time + r.transfer_time + 1e-9
+    assert r.combined_time >= max(r.compute_time, r.transfer_time) * 0.99
+
+
+def test_overlap_probe_validation():
+    with pytest.raises(ValueError):
+        run_overlap_probe(MpLite(), CFG, iterations=0)
+
+
+# -- halo exchange ---------------------------------------------------------------------
+def test_grid_shape_most_square():
+    assert _grid_shape(4) == (2, 2)
+    assert _grid_shape(8) == (2, 4)
+    assert _grid_shape(9) == (3, 3)
+    assert _grid_shape(7) == (1, 7)
+
+
+def test_halo_progress_engines_beat_blocking():
+    lite = run_halo_exchange(MpLite(), CFG, nranks=4)
+    mpich = run_halo_exchange(Mpich.tuned(), CFG, nranks=4)
+    assert lite.parallel_efficiency > mpich.parallel_efficiency + 0.05
+
+
+def test_halo_efficiency_bounds():
+    r = run_halo_exchange(MpLite(), CFG, nranks=4)
+    assert 0.0 <= r.parallel_efficiency <= 1.0
+    assert r.communication_fraction == pytest.approx(
+        1.0 - r.parallel_efficiency
+    )
+
+
+def test_halo_bigger_domains_amortise_communication():
+    small = run_halo_exchange(MpLite(), CFG, nranks=4, local_nx=64, local_ny=64)
+    big = run_halo_exchange(MpLite(), CFG, nranks=4, local_nx=512, local_ny=512)
+    assert big.parallel_efficiency > small.parallel_efficiency
+
+
+def test_halo_validation():
+    with pytest.raises(ValueError):
+        run_halo_exchange(MpLite(), CFG, nranks=1)
+    with pytest.raises(ValueError):
+        run_halo_exchange(MpLite(), CFG, iterations=0)
+
+
+# -- transpose -----------------------------------------------------------------------------
+def test_transpose_copies_tax_bandwidth():
+    lite = run_transpose(MpLite(), CFG, nranks=4)
+    mpich = run_transpose(Mpich.tuned(), CFG, nranks=4)
+    assert lite.effective_bandwidth > 1.1 * mpich.effective_bandwidth
+
+
+def test_transpose_validation():
+    with pytest.raises(ValueError):
+        run_transpose(MpLite(), CFG, nranks=1)
+    with pytest.raises(ValueError):
+        run_transpose(MpLite(), CFG, nranks=3, matrix_n=100)
+
+
+def test_transpose_result_fields():
+    r = run_transpose(MpLite(), CFG, nranks=4, matrix_n=512)
+    assert r.bytes_exchanged_per_rank == 3 * (128 * 128 * 8)
+    assert r.effective_bandwidth > 0
+
+
+# -- task farm -------------------------------------------------------------------------------
+def test_task_farm_daemon_routing_hurts():
+    """PVM's pvmd route doubles per-message latency and throttles the
+    master: farm throughput collapses relative to direct routing."""
+    direct = run_task_farm(Pvm.tuned(), CFG)
+    daemon = run_task_farm(Pvm(), CFG)
+    assert daemon.tasks_per_second < 0.7 * direct.tasks_per_second
+
+
+def test_task_farm_low_latency_interconnect_wins():
+    gige = run_task_farm(MpLite(), CFG, work_per_task=us(200))
+    myri = run_task_farm(RawGm(), configs.pc_myrinet(), work_per_task=us(200))
+    assert myri.tasks_per_second > gige.tasks_per_second
+
+
+def test_task_farm_efficiency_bounded():
+    r = run_task_farm(MpLite(), CFG)
+    assert 0.0 < r.farm_efficiency <= 1.0
+
+
+def test_task_farm_validation():
+    with pytest.raises(ValueError):
+        run_task_farm(MpLite(), CFG, nranks=1)
+    with pytest.raises(ValueError):
+        run_task_farm(MpLite(), CFG, nranks=5, tasks=2)
+
+
+def test_task_farm_more_workers_more_throughput():
+    few = run_task_farm(MpLite(), CFG, nranks=3, tasks=40)
+    many = run_task_farm(MpLite(), CFG, nranks=9, tasks=40)
+    assert many.tasks_per_second > few.tasks_per_second

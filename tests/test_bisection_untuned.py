@@ -1,0 +1,45 @@
+"""Bisection workload and the FIG_UNTUNED experiment."""
+
+import pytest
+
+from repro.apps import run_bisection
+from repro.experiments import configs
+from repro.experiments.untuned import FIG_UNTUNED
+from repro.mplib import MpLite
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def test_bisection_scales_linearly_on_crossbar():
+    two = run_bisection(MpLite(), GA620, nranks=2)
+    eight = run_bisection(MpLite(), GA620, nranks=8)
+    assert eight.aggregate_bandwidth == pytest.approx(
+        4 * two.aggregate_bandwidth, rel=0.05
+    )
+
+
+def test_bisection_pair_efficiency_full_on_disjoint_pairs():
+    r = run_bisection(MpLite(), GA620, nranks=8)
+    assert r.pair_efficiency > 0.95
+
+
+def test_bisection_validation():
+    with pytest.raises(ValueError):
+        run_bisection(MpLite(), GA620, nranks=5)
+    with pytest.raises(ValueError):
+        run_bisection(MpLite(), GA620, nranks=4, repeats=0)
+
+
+def test_untuned_experiment_shows_drastic_differences():
+    results = FIG_UNTUNED.run()
+    plateau = {k: v.plateau_mbps for k, v in results.items()}
+    assert plateau["MPICH"] < 100
+    assert plateau["PVM"] < 120
+    assert plateau["raw TCP"] > 500  # the GA620 trap: raw TCP looks fine
+    assert plateau["TCGMSG"] > 500  # 32 KB is enough on the AceNIC
+
+
+def test_untuned_labels_match_fig1():
+    from repro.experiments import FIG1
+
+    assert FIG_UNTUNED.labels() == FIG1.labels()

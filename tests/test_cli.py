@@ -1,0 +1,51 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_figure_command_passes_audit(capsys):
+    assert main(["figure", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Myrinet" in out and "PASS" in out and "MISS" not in out
+
+
+def test_libraries_command_lists_registry(capsys):
+    assert main(["libraries"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mpich", "mplite", "pvm", "tcgmsg", "mvich", "raw-gm"):
+        assert name in out
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "T1" in out and "T3" in out and "P4_SOCKBUFSIZE" in out
+
+
+def test_cpu_command(capsys):
+    assert main(["cpu"]) == 0
+    out = capsys.readouterr().out
+    assert "GM polling" in out and "rx avail" in out
+
+
+def test_export_command(tmp_path, capsys):
+    assert main(["export", str(tmp_path / "curves")]) == 0
+    files = list((tmp_path / "curves").iterdir())
+    assert any(f.suffix == ".json" for f in files)
+    assert any(f.name.endswith(".np.out") for f in files)
+    # One json + one np.out per curve of the five figures.
+    assert len(files) == 60
+
+
+def test_audit_command_writes_file(tmp_path, capsys):
+    path = tmp_path / "EXP.md"
+    assert main(["audit", str(path)]) == 0
+    text = path.read_text()
+    assert "Anchor summary" in text and "| MISS |" not in text
+
+
+def test_unknown_command_exits_nonzero():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,268 @@
+"""Communicator semantics and collective algorithms."""
+
+import math
+
+import pytest
+
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.mplib import Mpich, MpiPro, MpLite, RawTcp, Tcgmsg
+from repro.sim import Engine
+from repro.units import MB, kb, us
+
+CFG = configs.pc_netgear_ga620()
+
+
+def world(library, nranks):
+    engine = Engine()
+    comms = build_world(engine, library, CFG, nranks)
+    return engine, comms
+
+
+def timed(library, nranks, program):
+    engine, comms = world(library, nranks)
+    return run_ranks(engine, comms, program)
+
+
+# -- point to point -------------------------------------------------------------
+def test_send_recv_across_fabric():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, kb(64))
+        elif comm.rank == 1:
+            msg = yield from comm.recv(0, kb(64))
+            return msg.size
+        return None
+
+    results = timed(MpLite(), 3, program)
+    assert results[1] == kb(64) + 24  # payload + MP_Lite header
+
+
+def test_send_to_unknown_peer_rejected():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(7, 10)
+        if False:
+            yield
+
+    engine, comms = world(MpLite(), 2)
+    with pytest.raises(ValueError):
+        run_ranks(engine, comms, program)
+
+
+def test_sendrecv_exchanges_simultaneously():
+    def program(comm):
+        peer = 1 - comm.rank
+        t0 = comm.engine.now
+        yield from comm.sendrecv(peer, 1 * MB, peer, 1 * MB)
+        return comm.engine.now - t0
+
+    results = timed(MpLite(), 2, program)
+    lib = MpLite()
+    one_way = lib.link_model(CFG).transfer_time(1 * MB + 24)
+    # Full duplex: the exchange costs ~one transfer, not two.
+    assert max(results) < 1.5 * one_way
+
+
+# -- progress semantics -------------------------------------------------------------
+def overlap_program(comm):
+    compute = 20e-3
+    if comm.rank == 0:
+        t0 = comm.engine.now
+        req = comm.isend(1, 1 * MB)
+        yield from comm.compute(compute)
+        yield from comm.wait(req)
+        return comm.engine.now - t0
+    yield from comm.recv(0, 1 * MB)
+    return None
+
+
+def test_progress_independent_overlaps():
+    elapsed = timed(MpLite(), 2, overlap_program)[0]
+    transfer = MpLite().link_model(CFG).transfer_time(1 * MB + 24)
+    assert elapsed == pytest.approx(max(20e-3, transfer), rel=0.1)
+
+
+def test_blocking_progress_serialises():
+    elapsed = timed(Mpich.tuned(), 2, overlap_program)[0]
+    transfer = Mpich.tuned().link_model(CFG).transfer_time(1 * MB)
+    # Compute + transfer, not max: p4 cannot progress during compute.
+    assert elapsed > 20e-3 + transfer * 0.8
+
+
+def test_deferred_sends_flush_on_any_library_call():
+    """Two blocking-progress ranks isend to each other, then both
+    block in waitall(recvs) — must NOT deadlock, because entering
+    waitall runs the progress engine."""
+
+    def program(comm):
+        peer = 1 - comm.rank
+        send = comm.isend(peer, kb(256))
+        recv = comm.irecv(peer, kb(256))
+        yield from comm.waitall([recv])
+        yield from comm.wait(send)
+        return comm.engine.now
+
+    results = timed(Mpich.tuned(), 2, program)
+    assert all(r is not None for r in results)
+
+
+def test_wait_is_idempotent():
+    def program(comm):
+        peer = 1 - comm.rank
+        req = comm.isend(peer, kb(8))
+        rreq = comm.irecv(peer, kb(8))
+        yield from comm.wait(req)
+        yield from comm.wait(req)  # second wait returns immediately
+        yield from comm.wait(rreq)
+        return True
+
+    assert all(timed(MpLite(), 2, program))
+
+
+def test_compute_rejects_negative():
+    def program(comm):
+        yield from comm.compute(-1.0)
+
+    engine, comms = world(MpLite(), 2)
+    with pytest.raises(ValueError):
+        run_ranks(engine, comms, program)
+
+
+def test_instrumentation_counters():
+    def program(comm):
+        peer = 1 - comm.rank
+        yield from comm.compute(1e-3)
+        yield from comm.sendrecv(peer, kb(4), peer, kb(4))
+        return None
+
+    engine, comms = world(MpLite(), 2)
+    run_ranks(engine, comms, program)
+    assert comms[0].bytes_sent == kb(4)
+    assert comms[0].compute_time == pytest.approx(1e-3)
+
+
+# -- collectives -----------------------------------------------------------------------
+@pytest.mark.parametrize("nranks", [2, 3, 4, 7, 8])
+def test_barrier_synchronises(nranks):
+    def program(comm):
+        # Stagger arrival; everyone leaves at (or after) the latest.
+        yield from comm.compute(comm.rank * 1e-3)
+        yield from comm.barrier()
+        return comm.engine.now
+
+    finish = timed(MpLite(), nranks, program)
+    slowest_arrival = (nranks - 1) * 1e-3
+    assert all(t >= slowest_arrival for t in finish)
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5, 8])
+def test_bcast_completes_everywhere(nranks):
+    def program(comm):
+        yield from comm.bcast(0, kb(64))
+        return comm.engine.now
+
+    finish = timed(MpLite(), nranks, program)
+    assert all(t > 0 for t in finish)
+
+
+def test_bcast_scales_logarithmically():
+    def make(nranks):
+        def program(comm):
+            yield from comm.bcast(0, 1 * MB)
+            return comm.engine.now
+
+        return max(timed(MpLite(), nranks, program))
+
+    t2, t8 = make(2), make(8)
+    # Binomial: 8 ranks cost ~3 rounds vs 1; linear would cost 7.
+    assert t8 < 4.5 * t2
+    assert t8 > 1.5 * t2
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 8])
+def test_reduce_and_allreduce(nranks):
+    def program(comm):
+        yield from comm.reduce(0, kb(128))
+        yield from comm.allreduce(kb(128))
+        return comm.engine.now
+
+    assert all(t > 0 for t in timed(MpLite(), nranks, program))
+
+
+def test_allreduce_nonpow2_falls_back():
+    def program(comm):
+        yield from comm.allreduce(kb(64))
+        return comm.engine.now
+
+    assert all(t > 0 for t in timed(MpLite(), 6, program))
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5])
+def test_allgather_ring(nranks):
+    def program(comm):
+        t0 = comm.engine.now
+        yield from comm.allgather(kb(64))
+        return comm.engine.now - t0
+
+    times = timed(MpLite(), nranks, program)
+    link = MpLite().link_model(CFG)
+    # Ring: p-1 steps, full duplex: roughly (p-1) transfers.
+    expected = (nranks - 1) * link.transfer_time(kb(64) + 24)
+    assert max(times) == pytest.approx(expected, rel=0.35)
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 6, 8])
+def test_alltoall_all_pairs(nranks):
+    def program(comm):
+        yield from comm.alltoall(kb(16))
+        return comm.engine.now
+
+    assert all(t > 0 for t in timed(MpLite(), nranks, program))
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 5, 8])
+def test_gather_scatter_block_accounting(nranks):
+    """Binomial gather/scatter move every rank's block exactly once up
+    (resp. down) the tree; total bytes crossing the fabric per op are
+    sum over ranks of (blocks owned by subtree)."""
+    from repro.collectives import gather, scatter
+
+    def program(comm):
+        yield from gather(comm, 0, kb(4))
+        yield from scatter(comm, 0, kb(4))
+        return comm.engine.now
+
+    assert all(t > 0 for t in timed(RawTcp(), nranks, program))
+
+
+def test_collectives_work_for_blocking_progress_library():
+    def program(comm):
+        yield from comm.barrier()
+        yield from comm.allreduce(kb(64))
+        yield from comm.alltoall(kb(16))
+        return comm.engine.now
+
+    assert all(t > 0 for t in timed(Tcgmsg(), 4, program))
+
+
+def test_collective_root_validation():
+    def program(comm):
+        yield from comm.bcast(9, kb(1))
+
+    engine, comms = world(MpLite(), 2)
+    with pytest.raises(ValueError):
+        run_ranks(engine, comms, program)
+
+
+def test_mpich_collectives_cost_more_than_mplite():
+    """The staging copy taxes every hop of a collective too."""
+
+    def program(comm):
+        t0 = comm.engine.now
+        yield from comm.allreduce(1 * MB)
+        return comm.engine.now - t0
+
+    slow = max(timed(Mpich.tuned(), 4, program))
+    fast = max(timed(MpLite(), 4, program))
+    assert slow > 1.15 * fast

@@ -1,0 +1,119 @@
+"""Result persistence (JSON, np.out) and regression comparison."""
+
+import json
+
+import pytest
+
+from repro.core import run_netpipe
+from repro.core.io import (
+    compare_to_baseline,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_netpipe_out,
+    save_result,
+)
+from repro.core.results import NetPipePoint, NetPipeResult
+from repro.experiments import configs
+from repro.hw.cluster import DEFAULT_SYSCTL
+from repro.mplib import RawTcp
+from repro.units import us
+
+CFG = configs.pc_netgear_ga620()
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    result = run_netpipe(RawTcp(), CFG)
+    path = tmp_path / "curve.json"
+    save_result(result, path)
+    loaded = load_result(path)
+    assert loaded.library == result.library
+    assert loaded.config == result.config
+    assert [(p.size, p.oneway_time) for p in loaded.points] == [
+        (p.size, p.oneway_time) for p in result.points
+    ]
+    assert loaded.max_mbps == pytest.approx(result.max_mbps)
+
+
+def test_dict_roundtrip():
+    r = NetPipeResult("lib", "cfg", [NetPipePoint(1, us(100)), NetPipePoint(64, us(101))])
+    assert result_from_dict(result_to_dict(r)).latency_us == pytest.approx(r.latency_us)
+
+
+def test_load_rejects_wrong_format():
+    with pytest.raises(ValueError, match="not a"):
+        result_from_dict({"format": "something-else", "version": 1})
+
+
+def test_load_rejects_wrong_version():
+    data = result_to_dict(NetPipeResult("l", "c", [NetPipePoint(1, us(1))]))
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        result_from_dict(data)
+
+
+def test_json_is_valid_and_tagged(tmp_path):
+    result = run_netpipe(RawTcp(), CFG, sizes=[1, 64, 1024])
+    path = tmp_path / "curve.json"
+    save_result(result, path)
+    raw = json.loads(path.read_text())
+    assert raw["format"] == "repro-netpipe-result"
+    assert len(raw["points"]) == 3
+
+
+def test_netpipe_out_format(tmp_path):
+    result = run_netpipe(RawTcp(), CFG, sizes=[1, 1024])
+    path = tmp_path / "np.out"
+    save_netpipe_out(result, path)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    size, seconds, mbps = lines[1].split()
+    assert int(size) == 1024
+    assert float(seconds) > 0 and float(mbps) > 0
+
+
+def test_regression_ok_when_identical():
+    a = run_netpipe(RawTcp(), CFG)
+    b = run_netpipe(RawTcp(), CFG)
+    report = compare_to_baseline(a, b)
+    assert report.ok
+    assert report.peak_change == pytest.approx(1.0)
+    assert "OK" in report.render()
+
+
+def test_regression_detects_detuned_system():
+    """The admin's scenario: a reinstall reset the sysctls."""
+    baseline = run_netpipe(RawTcp(), configs.pc_trendnet())
+    regressed = run_netpipe(RawTcp(), configs.pc_trendnet(tuned=False))
+    report = compare_to_baseline(baseline, regressed)
+    assert not report.ok
+    assert report.peak_change < 0.7
+    assert any(size > 100000 for size, _, _ in report.regressions)
+    assert "REGRESSION" in report.render()
+
+
+def test_regression_requires_same_schedule():
+    a = run_netpipe(RawTcp(), CFG, sizes=[1, 1024])
+    b = run_netpipe(RawTcp(), CFG, sizes=[1, 2048])
+    with pytest.raises(ValueError):
+        compare_to_baseline(a, b)
+
+
+def test_regression_tolerance_validation():
+    a = run_netpipe(RawTcp(), CFG, sizes=[1, 1024])
+    with pytest.raises(ValueError):
+        compare_to_baseline(a, a, tolerance=0.0)
+
+
+def test_small_sizes_excluded_from_point_checks():
+    a = run_netpipe(RawTcp(), CFG, sizes=[1, 2, 4, 1024])
+    # Perturb only the tiny points: no regression flagged.
+    perturbed = NetPipeResult(
+        a.library,
+        a.config,
+        [
+            NetPipePoint(p.size, p.oneway_time * (2.0 if p.size < 64 else 1.0))
+            for p in a.points
+        ],
+    )
+    assert compare_to_baseline(a, perturbed).ok

@@ -1,0 +1,73 @@
+"""Streaming (-s) and bidirectional (-2) NetPIPE measurement modes."""
+
+import pytest
+
+from repro.core import measure_bidirectional, measure_pingpong, measure_streaming
+from repro.experiments import configs
+from repro.mplib import Mpich, MpLite, RawTcp
+from repro.sim import Engine
+from repro.units import MB, kb, to_mbps
+
+CFG = configs.pc_netgear_ga620()
+
+
+def build(lib):
+    engine = Engine()
+    a, b = lib.build(engine, CFG)
+    return engine, a, b
+
+
+def test_streaming_reaches_link_plateau():
+    engine, a, b = build(RawTcp())
+    rate = measure_streaming(engine, a, b, 1 * MB)
+    assert to_mbps(rate) == pytest.approx(550, rel=0.05)
+
+
+def test_streaming_beats_pingpong_for_small_messages():
+    """Streaming amortises latency over the burst; ping-pong pays the
+    full round trip per message."""
+    engine, a, b = build(RawTcp())
+    stream = measure_streaming(engine, a, b, kb(4), burst=32)
+    engine2, a2, b2 = build(RawTcp())
+    oneway = measure_pingpong(engine2, a2, b2, kb(4))
+    pingpong_rate = kb(4) / oneway
+    assert stream > 1.5 * pingpong_rate
+
+
+def test_streaming_rendezvous_library_serialises():
+    """MPICH's rendezvous handshake forces a round trip per message, so
+    its large-message streaming gains are capped."""
+    engine, a, b = build(Mpich.tuned())
+    stream = measure_streaming(engine, a, b, kb(256), burst=8)
+    engine2, a2, b2 = build(RawTcp())
+    raw = measure_streaming(engine2, a2, b2, kb(256), burst=8)
+    assert stream < raw
+
+
+def test_streaming_validation():
+    engine, a, b = build(RawTcp())
+    with pytest.raises(ValueError):
+        measure_streaming(engine, a, b, kb(4), burst=0)
+
+
+def test_bidirectional_uses_full_duplex():
+    engine, a, b = build(MpLite())
+    bidir = measure_bidirectional(engine, a, b, 1 * MB)
+    engine2, a2, b2 = build(MpLite())
+    stream = measure_streaming(engine2, a2, b2, 1 * MB)
+    # Aggregate bidirectional throughput approaches 2x one direction.
+    assert bidir > 1.7 * stream
+
+
+def test_bidirectional_validation():
+    engine, a, b = build(RawTcp())
+    with pytest.raises(ValueError):
+        measure_bidirectional(engine, a, b, kb(4), repeats=0)
+
+
+def test_modes_deterministic():
+    vals = set()
+    for _ in range(2):
+        engine, a, b = build(RawTcp())
+        vals.add(measure_streaming(engine, a, b, kb(64)))
+    assert len(vals) == 1

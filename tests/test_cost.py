@@ -1,0 +1,92 @@
+"""Price/performance analysis from the paper's quoted prices."""
+
+import pytest
+
+from repro.analysis import ClusterBill, PricePerformance, cluster_bill
+from repro.hw.catalog import (
+    GIGANET_CLAN,
+    MYRINET_PCI64A,
+    NETGEAR_GA620,
+    TRENDNET_TEG_PCITX,
+)
+
+
+def test_two_node_back_to_back_has_no_switch():
+    bill = cluster_bill(TRENDNET_TEG_PCITX, 2)
+    assert not bill.switched
+    assert bill.switch_cost == 0.0
+    assert bill.nic_cost == 110.0  # 2 x $55, the paper's price
+
+
+def test_more_than_two_nodes_need_a_switch():
+    bill = cluster_bill(NETGEAR_GA620, 8)
+    assert bill.switched
+    assert bill.switch_cost > 0
+    with pytest.raises(ValueError):
+        cluster_bill(NETGEAR_GA620, 8, switched=False)
+
+
+def test_proprietary_interconnects_cost_more_per_port():
+    gige = cluster_bill(NETGEAR_GA620, 16)
+    myri = cluster_bill(MYRINET_PCI64A, 16)
+    clan = cluster_bill(GIGANET_CLAN, 16)
+    assert myri.interconnect_total > 3 * gige.interconnect_total
+    assert clan.interconnect_total > 3 * gige.interconnect_total
+
+
+def test_interconnect_fraction():
+    cheap = cluster_bill(TRENDNET_TEG_PCITX, 16)
+    pricey = cluster_bill(MYRINET_PCI64A, 16)
+    assert cheap.interconnect_fraction < 0.15
+    assert pricey.interconnect_fraction > 0.4
+
+
+def test_totals_add_up():
+    bill = cluster_bill(MYRINET_PCI64A, 4)
+    assert bill.total == pytest.approx(
+        bill.host_cost + bill.nic_cost + bill.switch_cost
+    )
+
+
+def test_cluster_needs_two_nodes():
+    with pytest.raises(ValueError):
+        cluster_bill(NETGEAR_GA620, 1)
+
+
+def test_price_performance_metrics():
+    bill = cluster_bill(NETGEAR_GA620, 16)
+    pp = PricePerformance(
+        label="x", bill=bill, metric=2800.0, metric_name="tasks/s"
+    )
+    assert pp.per_kilodollar == pytest.approx(2800 / (bill.interconnect_total / 1000))
+    assert pp.per_kilodollar_total < pp.per_kilodollar
+
+
+def test_commodity_wins_per_network_dollar():
+    """The design-study conclusion as an invariant: tuned GigE beats
+    Myrinet on farm throughput per interconnect dollar."""
+    from repro.apps import run_task_farm
+    from repro.hw.catalog import PENTIUM4_PC
+    from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+    from repro.mplib import MpichGm, MpLite
+    from repro.units import us
+
+    nodes = 8
+    gige_cfg = ClusterConfig(
+        PENTIUM4_PC, TRENDNET_TEG_PCITX, sysctl=TUNED_SYSCTL, back_to_back=False
+    )
+    myri_cfg = ClusterConfig(PENTIUM4_PC, MYRINET_PCI64A, back_to_back=False)
+    gige = run_task_farm(MpLite(), gige_cfg, nranks=nodes, tasks=32,
+                         work_per_task=us(1000))
+    myri = run_task_farm(MpichGm(), myri_cfg, nranks=nodes, tasks=32,
+                         work_per_task=us(1000))
+    gige_ppd = gige.tasks_per_second / cluster_bill(
+        TRENDNET_TEG_PCITX, nodes
+    ).interconnect_total
+    myri_ppd = myri.tasks_per_second / cluster_bill(
+        MYRINET_PCI64A, nodes
+    ).interconnect_total
+    # Myrinet is absolutely faster...
+    assert myri.tasks_per_second > gige.tasks_per_second
+    # ...but commodity wins per dollar by a wide margin.
+    assert gige_ppd > 3 * myri_ppd

@@ -1,0 +1,103 @@
+"""Opt-in single-CPU contention: overlap is not free on a uniprocessor."""
+
+import pytest
+
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.hw.catalog import COMPAQ_DS20, PENTIUM4_PC, SYSKONNECT_SK9843
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.mplib import Mpich, MpLite
+from repro.sim import Engine
+from repro.units import MB
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def overlap_compute_wall(library, config, contention, nbytes=2 * MB, compute=10e-3):
+    def program(comm):
+        peer = 1 - comm.rank
+        req = (
+            comm.isend(peer, nbytes)
+            if comm.rank == 0
+            else comm.irecv(peer, nbytes)
+        )
+        t0 = comm.engine.now
+        yield from comm.compute(compute)
+        wall = comm.engine.now - t0
+        yield from comm.wait(req)
+        return wall
+
+    engine = Engine()
+    comms = build_world(engine, library, config, 2, cpu_contention=contention)
+    return run_ranks(engine, comms, program)
+
+
+def test_default_off_preserves_ideal_overlap():
+    walls = overlap_compute_wall(MpLite(), GA620, contention=False)
+    assert walls == pytest.approx([10e-3, 10e-3])
+
+
+def test_single_cpu_receiver_pays_the_full_stack():
+    """GigE receive eats ~a whole CPU; the overlapped receiver's
+    compute roughly doubles."""
+    walls = overlap_compute_wall(MpLite(), GA620, contention=True)
+    sender, receiver = walls
+    assert 1.3 < sender / 10e-3 < 1.8  # tx stack ~half a CPU
+    assert 1.9 < receiver / 10e-3 < 2.1  # rx stack ~a full CPU
+
+
+def test_paper_host_cpu_counts():
+    assert PENTIUM4_PC.cpus == 1
+    assert COMPAQ_DS20.cpus == 2  # "dual-processor Compaq DS20"
+
+
+def test_dual_cpu_ds20_exempt():
+    """The DS20's second processor absorbs the stack work."""
+    cfg = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000, sysctl=TUNED_SYSCTL)
+    walls = overlap_compute_wall(MpLite(), cfg, contention=True)
+    assert walls == pytest.approx([10e-3, 10e-3])
+
+
+def test_blocking_library_unaffected():
+    """MPICH never overlaps, so there is nothing to contend with —
+    its compute is clean either way (the transfer just waits)."""
+    a = overlap_compute_wall(Mpich.tuned(), GA620, contention=False)
+    b = overlap_compute_wall(Mpich.tuned(), GA620, contention=True)
+    assert a == pytest.approx(b)
+    assert a[0] == pytest.approx(10e-3)
+
+
+def test_contention_released_after_wait():
+    """Once the transfer is waited out, later compute runs clean."""
+
+    def program(comm):
+        peer = 1 - comm.rank
+        req = (
+            comm.isend(peer, 2 * MB) if comm.rank == 0 else comm.irecv(peer, 2 * MB)
+        )
+        yield from comm.wait(req)
+        t0 = comm.engine.now
+        yield from comm.compute(5e-3)
+        return comm.engine.now - t0
+
+    engine = Engine()
+    comms = build_world(engine, MpLite(), GA620, 2, cpu_contention=True)
+    walls = run_ranks(engine, comms, program)
+    assert walls == pytest.approx([5e-3, 5e-3])
+
+
+def test_host_cpus_validation():
+    from repro.hw.host import HostModel
+    from repro.hw.pci import PCI_32_33
+
+    with pytest.raises(ValueError):
+        HostModel(
+            name="bad",
+            cpu_ghz=1.0,
+            memcpy_bandwidth=1e8,
+            syscall_time=0,
+            interrupt_time=0,
+            sched_wakeup_time=0,
+            pci=PCI_32_33,
+            cpus=0,
+        )

@@ -1,0 +1,84 @@
+"""CPU-load accounting across the transport models."""
+
+import pytest
+
+from repro.analysis import CpuLoadReport, cpu_load
+from repro.experiments import configs
+from repro.net.gm import GmModel, GmReceiveMode
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.net.via import ViaModel
+from repro.units import MB, kb
+
+TCP = TcpModel(configs.pc_netgear_ga620(), TcpTuning(sockbuf_request=kb(512)))
+
+
+def test_tcp_cpu_scales_with_size():
+    tx1, rx1 = TCP.cpu_times(1 * MB)
+    tx2, rx2 = TCP.cpu_times(2 * MB)
+    assert tx2 > 1.8 * tx1 and rx2 > 1.8 * rx1
+
+
+def test_tcp_receive_is_the_expensive_side():
+    tx, rx = TCP.cpu_times(1 * MB)
+    assert rx > tx
+
+
+def test_tcp_rx_availability_near_zero_at_standard_mtu():
+    """The rx CPU stage *is* the 550 Mb/s bottleneck, so the receiver
+    has essentially nothing left — the era's motivation for OS bypass."""
+    _, rx_avail = TCP.cpu_availability(1 * MB)
+    assert rx_avail < 0.1
+
+
+def test_jumbo_frames_free_the_cpu():
+    std = TcpModel(configs.pc_syskonnect(), TcpTuning(sockbuf_request=kb(512)))
+    jumbo = TcpModel(
+        configs.pc_syskonnect(jumbo=True), TcpTuning(sockbuf_request=kb(512))
+    )
+    assert jumbo.cpu_times(MB)[1] < 0.5 * std.cpu_times(MB)[1]
+
+
+def test_gm_blocking_frees_receiver():
+    myri = configs.pc_myrinet()
+    polling = GmModel(myri, GmReceiveMode.POLLING)
+    blocking = GmModel(myri, GmReceiveMode.BLOCKING)
+    assert polling.cpu_availability(MB)[1] < 0.05
+    assert blocking.cpu_availability(MB)[1] > 0.95
+
+
+def test_gm_hybrid_caps_the_spin():
+    hybrid = GmModel(configs.pc_myrinet())
+    _, rx_small = hybrid.cpu_times(kb(1))
+    _, rx_big = hybrid.cpu_times(8 * MB)
+    # The spin quantum bounds the cost: big transfers don't spin more.
+    assert rx_big < rx_small + hybrid.HYBRID_SPIN_QUANTUM + 1e-4
+
+
+def test_hardware_via_host_cost_constant():
+    via = ViaModel(configs.pc_giganet())
+    assert via.cpu_times(kb(1)) == via.cpu_times(8 * MB)
+
+
+def test_software_via_is_tcp_class():
+    mvia = ViaModel(configs.pc_syskonnect())
+    hw = ViaModel(configs.pc_giganet())
+    assert mvia.cpu_times(MB)[1] > 100 * hw.cpu_times(MB)[1]
+
+
+def test_cpu_load_report_fields():
+    r = cpu_load(TCP, 1 * MB, "tcp")
+    assert isinstance(r, CpuLoadReport)
+    assert r.transport == "tcp"
+    assert 0 <= r.tx_availability <= 1
+    assert 0 <= r.rx_availability <= 1
+    assert r.cpu_seconds_per_mb > 0
+
+
+def test_cpu_times_validation():
+    with pytest.raises(ValueError):
+        TCP.cpu_times(-1)
+
+
+def test_zero_bytes_report():
+    r = cpu_load(TCP, 0, "tcp")
+    assert r.cpu_seconds_per_mb == 0.0

@@ -1,0 +1,131 @@
+"""Derived-datatype cost model and its communicator integration."""
+
+import pytest
+
+from repro.cluster import build_world, run_ranks
+from repro.experiments import configs
+from repro.hw.catalog import PENTIUM4_PC
+from repro.mplib import Mpich, MpiPro, MpLite
+from repro.mplib.datatypes import (
+    STRIDED_BLOCK_OVERHEAD,
+    Contiguous,
+    DatatypeSupport,
+    Layout,
+    Strided,
+    exposed_pack_time,
+    support_for,
+)
+from repro.sim import Engine
+from repro.units import kb
+
+CFG = configs.pc_netgear_ga620()
+
+
+# -- layouts --------------------------------------------------------------------
+def test_contiguous_has_no_pack_cost():
+    c = Contiguous(kb(64))
+    assert c.nbytes == kb(64)
+    assert c.pack_time(PENTIUM4_PC) == 0.0
+
+
+def test_strided_nbytes():
+    s = Strided(count=256, blocklen=8, stride=2048)
+    assert s.nbytes == 2048
+
+
+def test_strided_pack_cost_exceeds_memcpy():
+    s = Strided(count=1024, blocklen=8, stride=2048)
+    plain = s.nbytes / PENTIUM4_PC.memcpy_bandwidth
+    assert s.pack_time(PENTIUM4_PC) == pytest.approx(
+        plain + 1024 * STRIDED_BLOCK_OVERHEAD
+    )
+
+
+def test_fine_strides_cost_more_per_byte():
+    fine = Strided(count=8192, blocklen=8, stride=1024)  # 64 KB, 8 B blocks
+    coarse = Strided(count=64, blocklen=1024, stride=2048)  # 64 KB, 1 KB blocks
+    assert fine.nbytes == coarse.nbytes
+    assert fine.pack_time(PENTIUM4_PC) > 2 * coarse.pack_time(PENTIUM4_PC)
+
+
+def test_strided_validation():
+    with pytest.raises(ValueError):
+        Strided(count=0, blocklen=8, stride=16)
+    with pytest.raises(ValueError):
+        Strided(count=4, blocklen=32, stride=16)
+    with pytest.raises(ValueError):
+        Contiguous(-1)
+
+
+# -- support mapping ------------------------------------------------------------------
+def test_paper_support_levels():
+    assert support_for("MP_Lite") is DatatypeSupport.USER_PACK
+    assert support_for("TCGMSG") is DatatypeSupport.USER_PACK
+    assert support_for("MPICH") is DatatypeSupport.LIBRARY_PACK
+    assert support_for("MPI/Pro") is DatatypeSupport.PIPELINED_PACK
+    assert support_for("PVM (PvmRouteDirect, PvmDataInPlace)") \
+        is DatatypeSupport.LIBRARY_PACK
+
+
+def test_unknown_library_defaults_to_user_pack():
+    assert support_for("Frobnicator-MPI") is DatatypeSupport.USER_PACK
+
+
+def test_pipelined_pack_exposes_only_a_chunk():
+    s = Strided(count=16384, blocklen=8, stride=1024)  # 128 KB
+    full = exposed_pack_time(s, PENTIUM4_PC, DatatypeSupport.LIBRARY_PACK)
+    piped = exposed_pack_time(s, PENTIUM4_PC, DatatypeSupport.PIPELINED_PACK)
+    assert piped < 0.2 * full
+    assert exposed_pack_time(s, PENTIUM4_PC, DatatypeSupport.USER_PACK) == full
+
+
+def test_contiguous_exposes_nothing():
+    c = Contiguous(kb(256))
+    for support in DatatypeSupport:
+        assert exposed_pack_time(c, PENTIUM4_PC, support) == 0.0
+
+
+# -- communicator integration ----------------------------------------------------------
+def exchange_program(layout):
+    def program(comm):
+        t0 = comm.engine.now
+        if comm.rank == 0:
+            yield from comm.send_layout(1, layout)
+        else:
+            yield from comm.recv_layout(0, layout)
+        return comm.engine.now - t0
+
+    return program
+
+
+def run_pair(library, layout):
+    engine = Engine()
+    comms = build_world(engine, library, CFG, 2)
+    times = run_ranks(engine, comms, exchange_program(layout))
+    return max(t for t in times if t is not None), comms
+
+
+def test_strided_send_slower_than_contiguous():
+    strided = Strided(count=16384, blocklen=8, stride=2048)  # 128 KB column
+    contig = Contiguous(strided.nbytes)
+    t_strided, _ = run_pair(MpLite(), strided)
+    t_contig, _ = run_pair(MpLite(), contig)
+    assert t_strided > t_contig * 1.2
+
+
+def test_pipelined_library_hides_most_of_the_pack():
+    strided = Strided(count=16384, blocklen=8, stride=2048)
+    t_pro, _ = run_pair(MpiPro.tuned(), strided)
+    t_contig_pro, _ = run_pair(MpiPro.tuned(), Contiguous(strided.nbytes))
+    # MPI/Pro's pipelined pack exposes a fraction of what a full
+    # gather pass would add.
+    full_pack = strided.pack_time(PENTIUM4_PC)
+    assert t_pro - t_contig_pro < 0.4 * (2 * full_pack)
+
+
+def test_user_pack_counts_as_application_compute():
+    strided = Strided(count=8192, blocklen=8, stride=2048)
+    _, comms = run_pair(MpLite(), strided)
+    assert comms[0].compute_time > 0  # sender packed "by hand"
+    _, comms_mpich = run_pair(Mpich.tuned(), strided)
+    assert comms_mpich[0].compute_time == 0  # the library did it

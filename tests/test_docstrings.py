@@ -1,0 +1,69 @@
+"""Documentation contract: every public item carries a docstring.
+
+The deliverable says "doc comments on every public item"; this test
+enforces it so the contract cannot silently rot.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+IGNORED_MODULES = set()
+
+
+def walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in IGNORED_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(obj):
+            continue
+        # Only report items defined in this package, not re-exports of
+        # stdlib/numpy objects.
+        defined_in = getattr(obj, "__module__", None)
+        if not (defined_in or "").startswith("repro"):
+            continue
+        if defined_in != module.__name__:
+            continue  # re-export; checked at its definition site
+        yield name, obj
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in walk_modules() if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for module in walk_modules():
+        for name, obj in public_members(module):
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (inspect.getdoc(obj) or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"public items without docstrings: {missing}"
+
+
+def test_public_methods_documented_on_key_classes():
+    from repro.cluster import Communicator
+    from repro.core.results import NetPipeResult
+    from repro.net.tcp import TcpModel
+    from repro.sim import Engine
+
+    missing = []
+    for cls in (Engine, TcpModel, NetPipeResult, Communicator):
+        for name, member in vars(cls).items():
+            if name.startswith("_"):
+                continue
+            func = member.fget if isinstance(member, property) else member
+            if callable(func) and not (getattr(func, "__doc__", "") or "").strip():
+                missing.append(f"{cls.__name__}.{name}")
+    assert not missing, f"undocumented methods: {missing}"

@@ -1,0 +1,54 @@
+"""The examples/ directory must keep running — they are documentation.
+
+Each example's ``main()`` is executed with stdout captured; a broken
+example fails here before a user finds it.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "reproduce_figure1.py",
+    "tuning_study.py",
+    "custom_hardware.py",
+    "cluster_applications.py",
+    "custom_rank_program.py",
+    "trace_timelines.py",
+    "regression_check.py",
+    "cluster_design_study.py",
+]
+
+SOCKET_EXAMPLES = ["live_loopback.py"]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    # Examples may read sys.argv; give them a clean command line.
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its result
+
+
+def test_example_inventory_complete():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SOCKET_EXAMPLES)
+
+
+def test_live_loopback_example_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "live_loopback.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "loopback" in out
+
+
+def test_quickstart_states_the_headline(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "MPICH" in out and "raw TCP" in out
+    assert "%" in out  # the fraction-of-TCP conclusion

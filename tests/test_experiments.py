@@ -1,0 +1,123 @@
+"""Experiment layer: figures, anchors, audit, configs."""
+
+import pytest
+
+from repro.core import netpipe_sizes
+from repro.data.paper import ANCHORS, Anchor, anchors_for
+from repro.experiments import ALL_FIGURES, FIG1, FIG4, configs
+from repro.experiments.harness import Experiment, ExperimentEntry
+from repro.mplib import RawTcp
+from repro.units import MB
+
+
+def test_all_figures_present():
+    assert [f.id for f in ALL_FIGURES] == ["fig1", "fig2", "fig3", "fig4", "fig5"]
+
+
+def test_fig1_has_paper_legend():
+    assert FIG1.labels() == [
+        "raw TCP", "MPICH", "LAM/MPI", "MPI/Pro", "MP_Lite", "PVM", "TCGMSG",
+    ]
+
+
+def test_fig4_includes_tcp_ge_reference():
+    assert "TCP - GE" in FIG4.labels()
+
+
+def test_every_figure_audit_passes():
+    """The headline: all paper anchors within tolerance."""
+    for fig in ALL_FIGURES:
+        rows = fig.audit()
+        misses = [r for r in rows if not r.ok]
+        assert not misses, f"{fig.id}: " + "; ".join(
+            r.render() for r in misses
+        )
+
+
+def test_every_anchor_has_an_owner():
+    """Each figure anchor must reference a label its experiment makes."""
+    for fig in ALL_FIGURES:
+        labels = set(fig.labels())
+        for anchor in fig.anchors():
+            assert anchor.library in labels, anchor.id
+
+
+def test_anchor_ids_unique():
+    ids = [a.id for a in ANCHORS]
+    assert len(ids) == len(set(ids))
+
+
+def test_anchor_metric_parsing():
+    from repro.core import run_netpipe
+
+    r = run_netpipe(RawTcp(), configs.pc_netgear_ga620())
+    a = Anchor("x", "figX", "raw TCP", "mbps_at:1024", 60, 0.5, "q")
+    measured, ok = a.check(r)
+    assert measured == pytest.approx(r.mbps_at(1024))
+    assert ok
+
+
+def test_anchor_unknown_metric_rejected():
+    from repro.core import run_netpipe
+
+    r = run_netpipe(RawTcp(), configs.pc_netgear_ga620())
+    a = Anchor("x", "figX", "raw TCP", "nonsense", 1, 0.1, "q")
+    with pytest.raises(ValueError):
+        a.evaluate(r)
+
+
+def test_anchors_for_filters():
+    assert all(a.experiment == "fig1" for a in anchors_for("fig1"))
+    assert anchors_for("nope") == []
+
+
+def test_audit_raises_on_missing_label():
+    exp = Experiment(
+        id="fig1",  # fig1 anchors reference many labels
+        title="t",
+        description="d",
+        entries=(ExperimentEntry("raw TCP", RawTcp(), configs.pc_netgear_ga620()),),
+    )
+    with pytest.raises(KeyError):
+        exp.audit()
+
+
+def test_experiment_rejects_duplicate_labels():
+    e = ExperimentEntry("raw TCP", RawTcp(), configs.pc_netgear_ga620())
+    exp = Experiment(id="x", title="t", description="d", entries=(e, e))
+    with pytest.raises(ValueError):
+        exp.run(sizes=[1, 64])
+
+
+def test_configs_are_fresh_instances():
+    assert configs.pc_netgear_ga620() == configs.pc_netgear_ga620()
+    assert configs.pc_trendnet().nic.driver == "ns83820"
+    assert configs.ds20_syskonnect_jumbo().effective_mtu == 9000
+    assert configs.pc_giganet().back_to_back is False
+    assert configs.pc_myrinet().nic.kind.value == "myrinet"
+
+
+def test_untuned_config_variants():
+    tuned = configs.pc_trendnet(tuned=True)
+    untuned = configs.pc_trendnet(tuned=False)
+    assert tuned.sysctl.maximum > untuned.sysctl.maximum
+
+
+def test_audit_rows_render():
+    rows = FIG1.audit(sizes=netpipe_sizes(stop=8 * MB))
+    for r in rows:
+        text = r.render()
+        assert ("PASS" in text) or ("MISS" in text)
+        assert r.anchor.id in text
+
+
+def test_experiments_md_generation():
+    from repro.experiments.audit import render_experiments_md
+
+    text = render_experiments_md()
+    assert "Anchor summary" in text
+    for fig in ALL_FIGURES:
+        assert fig.title in text
+    assert "T1" in text and "T3" in text
+    # No misses in the generated document.
+    assert "| MISS |" not in text

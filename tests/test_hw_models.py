@@ -1,0 +1,239 @@
+"""Hardware model tests: PCI, hosts, NICs, cluster configs."""
+
+import pytest
+
+from repro.hw import PCI_32_33, PCI_64_33, ClusterConfig, HostModel, NicModel, PciBus, SysctlConfig
+from repro.hw.catalog import (
+    ALL_HOSTS,
+    ALL_NICS,
+    COMPAQ_DS20,
+    GIGANET_CLAN,
+    MYRINET_PCI64A,
+    NETGEAR_GA620,
+    NETGEAR_GA622,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+    TRENDNET_TEG_PCITX,
+)
+from repro.hw.cluster import DEFAULT_SYSCTL, TUNED_SYSCTL
+from repro.units import kb, to_mbps, us
+
+
+# -- PCI -----------------------------------------------------------------------
+def test_pci_theoretical_bandwidth():
+    assert PCI_32_33.theoretical_bandwidth == pytest.approx(4 * 33.33e6)
+    assert PCI_64_33.theoretical_bandwidth == pytest.approx(8 * 33.33e6)
+
+
+def test_pci_64_is_twice_32():
+    assert PCI_64_33.bandwidth == pytest.approx(2 * PCI_32_33.bandwidth)
+
+
+def test_pci_rejects_bad_width():
+    with pytest.raises(ValueError):
+        PciBus(width_bits=16, clock_mhz=33)
+
+
+def test_pci_rejects_bad_efficiency():
+    with pytest.raises(ValueError):
+        PciBus(width_bits=32, clock_mhz=33, efficiency=1.5)
+
+
+def test_pci_32bit_caps_syskonnect_near_710_mbps():
+    # The paper: "the 32-bit PCI bus limits the bandwidth of these
+    # SysKonnect cards to a maximum of 710 Mbps".
+    assert to_mbps(PCI_32_33.bandwidth) == pytest.approx(714, abs=10)
+
+
+# -- Host ------------------------------------------------------------------------
+def test_host_copy_time_scales_linearly():
+    t1 = PENTIUM4_PC.copy_time(1_000_000)
+    t2 = PENTIUM4_PC.copy_time(2_000_000)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_host_copy_time_rejects_negative():
+    with pytest.raises(ValueError):
+        PENTIUM4_PC.copy_time(-1)
+
+
+def test_ds20_memory_faster_than_pc():
+    assert COMPAQ_DS20.memcpy_bandwidth > PENTIUM4_PC.memcpy_bandwidth
+
+
+def test_host_validation():
+    with pytest.raises(ValueError):
+        HostModel(
+            name="bad",
+            cpu_ghz=1.0,
+            memcpy_bandwidth=-1,
+            syscall_time=0,
+            interrupt_time=0,
+            sched_wakeup_time=0,
+            pci=PCI_32_33,
+        )
+
+
+# -- NIC --------------------------------------------------------------------------
+def test_catalog_has_all_six_paper_nics():
+    names = {n.name for n in ALL_NICS}
+    assert len(ALL_NICS) == 6
+    assert any("TrendNet" in n for n in names)
+    assert any("GA622" in n for n in names)
+    assert any("GA620" in n for n in names)
+    assert any("SysKonnect" in n for n in names)
+    assert any("Myrinet" in n for n in names)
+    assert any("Giganet" in n or "cLAN" in n for n in names)
+
+
+def test_paper_prices():
+    assert TRENDNET_TEG_PCITX.price_usd == 55
+    assert NETGEAR_GA622.price_usd == 90
+    assert NETGEAR_GA620.price_usd == 220
+    assert SYSKONNECT_SK9843.price_usd == 565
+
+
+def test_jumbo_capability():
+    assert SYSKONNECT_SK9843.supports_jumbo
+    assert not TRENDNET_TEG_PCITX.supports_jumbo
+
+
+def test_trendnet_is_32bit_only():
+    assert not TRENDNET_TEG_PCITX.pci_64bit_capable
+    assert NETGEAR_GA622.pci_64bit_capable  # the 64-bit twin
+
+
+def test_nic_validation_rejects_default_mtu_above_max():
+    with pytest.raises(ValueError):
+        NicModel(
+            name="bad",
+            kind=TRENDNET_TEG_PCITX.kind,
+            link_rate=1e8,
+            driver="x",
+            media="copper",
+            price_usd=1,
+            mtu_default=9000,
+            mtu_max=1500,
+            pci_64bit_capable=False,
+            tx_per_packet_time=0,
+            rx_per_packet_time=0,
+            wire_latency=0,
+            ack_rtt=0,
+        )
+
+
+def test_nic_describe_mentions_driver_and_price():
+    text = SYSKONNECT_SK9843.describe()
+    assert "sk98lin" in text and "565" in text
+
+
+# -- Sysctl ------------------------------------------------------------------------
+def test_sysctl_default_when_no_request():
+    assert DEFAULT_SYSCTL.effective_bufsize(None) == kb(32)
+
+
+def test_sysctl_clamps_to_maximum():
+    assert DEFAULT_SYSCTL.effective_bufsize(kb(512)) == kb(32)
+    assert TUNED_SYSCTL.effective_bufsize(kb(512)) == kb(512)
+
+
+def test_sysctl_passes_small_requests_through():
+    assert TUNED_SYSCTL.effective_bufsize(kb(8)) == kb(8)
+
+
+def test_sysctl_rejects_nonpositive_request():
+    with pytest.raises(ValueError):
+        DEFAULT_SYSCTL.effective_bufsize(0)
+
+
+def test_sysctl_validates_default_le_maximum():
+    with pytest.raises(ValueError):
+        SysctlConfig(default=kb(128), maximum=kb(64))
+
+
+# -- ClusterConfig -------------------------------------------------------------------
+def test_cluster_effective_mtu_defaults_to_nic():
+    cfg = ClusterConfig(PENTIUM4_PC, NETGEAR_GA620)
+    assert cfg.effective_mtu == 1500
+
+
+def test_cluster_rejects_mtu_above_nic_max():
+    with pytest.raises(ValueError):
+        ClusterConfig(PENTIUM4_PC, TRENDNET_TEG_PCITX, mtu=9000)
+
+
+def test_cluster_jumbo_allowed_on_syskonnect():
+    cfg = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000)
+    assert cfg.effective_mtu == 9000
+
+
+def test_pci_bandwidth_32bit_card_in_64bit_slot():
+    # TrendNet twin GA622 uses all 64 bits on the DS20; TrendNet itself
+    # would be stuck at 32.
+    cfg622 = ClusterConfig(COMPAQ_DS20, NETGEAR_GA622)
+    cfg_tn = ClusterConfig(COMPAQ_DS20, TRENDNET_TEG_PCITX)
+    assert cfg622.pci_bandwidth == pytest.approx(2 * cfg_tn.pci_bandwidth)
+
+
+def test_os_bypass_nics_extract_more_pci():
+    eth = ClusterConfig(PENTIUM4_PC, SYSKONNECT_SK9843)
+    gm = ClusterConfig(PENTIUM4_PC, MYRINET_PCI64A)
+    assert gm.pci_bandwidth > eth.pci_bandwidth
+
+
+def test_switch_latency_only_when_switched():
+    b2b = ClusterConfig(PENTIUM4_PC, GIGANET_CLAN)
+    sw = ClusterConfig(PENTIUM4_PC, GIGANET_CLAN, back_to_back=False)
+    assert b2b.path_latency_extra == 0.0
+    assert sw.path_latency_extra == pytest.approx(us(1.0))
+
+
+def test_with_sysctl_returns_modified_copy():
+    cfg = ClusterConfig(PENTIUM4_PC, NETGEAR_GA620)
+    tuned = cfg.with_sysctl(TUNED_SYSCTL)
+    assert tuned.sysctl is TUNED_SYSCTL
+    assert cfg.sysctl is DEFAULT_SYSCTL  # original untouched
+
+
+def test_describe_mentions_nic_and_buffers():
+    cfg = ClusterConfig(PENTIUM4_PC, NETGEAR_GA620, sysctl=TUNED_SYSCTL)
+    text = cfg.describe()
+    assert "GA620" in text and "512 KB" in text
+
+
+def test_all_hosts_in_catalog():
+    assert len(ALL_HOSTS) == 2
+
+
+# -- Fast Ethernet (Sec. 4's reference point) ------------------------------------
+def test_fast_ethernet_saturates_with_default_buffers():
+    """'You cannot just slap in a Gigabit Ethernet card and expect ...
+    decent performance like you can with more established Fast
+    Ethernet' — at 100 Mb/s the default buffers are already enough."""
+    from repro.core import run_netpipe
+    from repro.hw.catalog import INTEL_EEPRO100
+    from repro.mplib import RawTcp
+
+    untuned = run_netpipe(
+        RawTcp.untuned(), ClusterConfig(PENTIUM4_PC, INTEL_EEPRO100)
+    )
+    tuned = run_netpipe(
+        RawTcp(), ClusterConfig(PENTIUM4_PC, INTEL_EEPRO100, sysctl=TUNED_SYSCTL)
+    )
+    # ~94 Mb/s is the framing-limited ceiling of Fast Ethernet.
+    assert untuned.plateau_mbps > 90
+    assert tuned.plateau_mbps / untuned.plateau_mbps < 1.05  # tuning moot
+
+
+def test_fast_ethernet_vs_gige_untuned_paradox():
+    """Untuned, a $55 GigE card beats Fast Ethernet by only ~3x, not
+    the 10x the wire promises — the paper's motivation in one number."""
+    from repro.core import run_netpipe
+    from repro.hw.catalog import INTEL_EEPRO100, TRENDNET_TEG_PCITX
+    from repro.mplib import RawTcp
+
+    fe = run_netpipe(RawTcp.untuned(), ClusterConfig(PENTIUM4_PC, INTEL_EEPRO100))
+    ge = run_netpipe(
+        RawTcp.untuned(), ClusterConfig(PENTIUM4_PC, TRENDNET_TEG_PCITX)
+    )
+    assert 2.0 < ge.plateau_mbps / fe.plateau_mbps < 4.0

@@ -1,0 +1,71 @@
+"""Sec. 4.4's MPICH-MP_Lite hybrid and Sec. 7's GA622 driver aside."""
+
+import pytest
+
+from repro.apps import run_overlap_probe
+from repro.core import run_netpipe
+from repro.experiments import configs
+from repro.mplib import Mpich, MpichMpLite, MpichMpLiteParams, RawTcp
+from repro.units import kb
+
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def test_mpich_mplite_passes_tcp_performance_through():
+    """Sec. 4.4: 'this performance can be passed along to the full MPI
+    implementation of MPICH' — the channel device, not MPI semantics,
+    is where MPICH's losses live."""
+    hybrid = run_netpipe(MpichMpLite(), GA620)
+    raw = run_netpipe(RawTcp(), GA620)
+    assert hybrid.max_mbps / raw.max_mbps > 0.97
+
+
+def test_mpich_mplite_beats_mpich_p4_dramatically():
+    hybrid = run_netpipe(MpichMpLite(), GA620)
+    p4 = run_netpipe(Mpich.tuned(), GA620)
+    assert hybrid.max_mbps > 1.25 * p4.max_mbps
+
+
+def test_mpich_mplite_keeps_the_rendezvous_dip():
+    """MPI semantics stay: the 128 KB cutoff still dips."""
+    hybrid = run_netpipe(MpichMpLite(), GA620)
+    assert hybrid.mbps_at(kb(128)) < hybrid.mbps_at(kb(128) - 3)
+
+
+def test_mpich_mplite_cutoff_is_parameterised():
+    moved = run_netpipe(
+        MpichMpLite(MpichMpLiteParams(rendezvous_cutoff=kb(256))), GA620
+    )
+    assert moved.mbps_at(kb(128)) > moved.mbps_at(kb(128) - 3) * 0.98
+
+
+def test_mpich_mplite_inherits_sigio_overlap():
+    r = run_overlap_probe(MpichMpLite(), GA620)
+    assert r.overlap_efficiency > 0.9
+
+
+def test_mpich_mplite_needs_sysctl_tuning_like_mplite():
+    trendnet_tuned = run_netpipe(MpichMpLite(), configs.pc_trendnet())
+    trendnet_default = run_netpipe(MpichMpLite(), configs.pc_trendnet(tuned=False))
+    assert trendnet_tuned.max_mbps > 1.5 * trendnet_default.max_mbps
+
+
+# -- GA622 on the DS20s (Sec. 7) ---------------------------------------------------
+def test_ga622_on_ds20_poor_even_for_raw_tcp():
+    """Sec. 7: the GA622s on the DS20s 'showed poor performance even
+    for raw TCP' — the immature ns83820 driver, not the libraries."""
+    ga622 = run_netpipe(RawTcp(), configs.ds20_netgear_ga622())
+    ds20_good = run_netpipe(RawTcp(), configs.ds20_syskonnect_jumbo())
+    assert ga622.plateau_mbps < 0.35 * ds20_good.plateau_mbps
+
+
+def test_ga622_uses_the_full_64bit_bus_but_driver_dominates():
+    """64-bit PCI capability doesn't save a bad driver."""
+    from repro.hw.catalog import COMPAQ_DS20, NETGEAR_GA622
+    from repro.hw.cluster import ClusterConfig
+
+    cfg = configs.ds20_netgear_ga622()
+    assert cfg.pci_bandwidth > 150e6  # the bus is fine...
+    r = run_netpipe(RawTcp(), cfg)
+    assert r.plateau_mbps < 350  # ...the ns83820 ack behaviour is not

@@ -1,0 +1,143 @@
+"""GM and VIA library protocol models against the paper's Sec. 5-6."""
+
+import pytest
+
+from repro.core import netpipe_sizes, run_netpipe
+from repro.hw.catalog import (
+    GIGANET_CLAN,
+    MYRINET_PCI64A,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+)
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.mplib import (
+    IpOverGm,
+    MpichGm,
+    MpiProGm,
+    MpiProVia,
+    MpLiteVia,
+    Mvich,
+    MvichParams,
+    RawGm,
+)
+from repro.net.gm import GmReceiveMode
+from repro.units import MB, kb
+
+MYRI = ClusterConfig(PENTIUM4_PC, MYRINET_PCI64A)
+CLAN = ClusterConfig(PENTIUM4_PC, GIGANET_CLAN, back_to_back=False)
+SK_PC = ClusterConfig(PENTIUM4_PC, SYSKONNECT_SK9843, sysctl=TUNED_SYSCTL)
+
+SIZES = netpipe_sizes(stop=8 * MB)
+
+
+def sweep(lib, cfg):
+    return run_netpipe(lib, cfg, sizes=SIZES)
+
+
+# -- GM -------------------------------------------------------------------------
+def test_raw_gm_800_mbps_16us():
+    r = sweep(RawGm(), MYRI)
+    assert r.max_mbps == pytest.approx(800, rel=0.05)
+    assert r.latency_us == pytest.approx(16, abs=1.5)
+
+
+def test_gm_blocking_mode_36us_same_bandwidth():
+    polling = sweep(RawGm(GmReceiveMode.POLLING), MYRI)
+    blocking = sweep(RawGm(GmReceiveMode.BLOCKING), MYRI)
+    assert blocking.latency_us == pytest.approx(36, abs=2)
+    assert blocking.max_mbps == pytest.approx(polling.max_mbps, rel=0.02)
+
+
+def test_mpich_gm_loses_only_a_few_percent():
+    """Sec. 5: 'MPICH-GM and MPI/Pro-GM results are nearly identical,
+    losing only a few percent off the raw GM performance in the
+    intermediate range.'"""
+    raw = sweep(RawGm(), MYRI)
+    mpich = sweep(MpichGm(), MYRI)
+    # asymptotically equal (zero-copy rendezvous)...
+    assert mpich.max_mbps / raw.max_mbps >= 0.97
+    # ... a few percent down in the intermediate range:
+    mid = kb(8)
+    frac = mpich.mbps_at(mid) / raw.mbps_at(mid)
+    assert 0.80 <= frac < 1.0
+
+
+def test_mpich_gm_and_mpipro_gm_nearly_identical():
+    a = sweep(MpichGm(), MYRI)
+    b = sweep(MpiProGm(), MYRI)
+    assert b.max_mbps == pytest.approx(a.max_mbps, rel=0.03)
+    assert abs(b.latency_us - a.latency_us) < 3.0
+
+
+def test_ip_gm_latency_48us_and_gige_class_throughput():
+    r = sweep(IpOverGm(), MYRI)
+    assert r.latency_us == pytest.approx(48, abs=2)
+    assert 450 <= r.max_mbps <= 650  # "similar ... to TCP over GigE"
+    assert r.max_mbps < 0.8 * sweep(RawGm(), MYRI).max_mbps
+
+
+# -- VIA on Giganet -----------------------------------------------------------------
+def test_all_three_via_libraries_reach_800_on_giganet():
+    for lib in (Mvich.tuned(), MpLiteVia(), MpiProVia.tuned()):
+        r = sweep(lib, CLAN)
+        assert r.max_mbps == pytest.approx(800, rel=0.06), lib.display_name
+
+
+def test_giganet_latencies_mvich_mplite_10us_mpipro_42us():
+    """Sec. 6.2: 'MVICH and MP_Lite have latencies of 10 us, while
+    MPI/Pro has a greater overhead at 42 us.'"""
+    assert sweep(Mvich.tuned(), CLAN).latency_us == pytest.approx(10.5, abs=1.5)
+    assert sweep(MpLiteVia(), CLAN).latency_us == pytest.approx(10, abs=1.5)
+    assert sweep(MpiProVia.tuned(), CLAN).latency_us == pytest.approx(42, abs=2)
+
+
+def test_mvich_rput_support_is_vital():
+    """Sec. 6.1: 'It is vital to configure MVICH using
+    DVIADEV_RPUT_SUPPORT to get good performance.'"""
+    with_rput = sweep(Mvich.tuned(), CLAN)
+    without = sweep(Mvich(MvichParams(rput_support=False, via_long=kb(64))), CLAN)
+    assert without.max_mbps < 0.7 * with_rput.max_mbps
+
+
+def test_mvich_via_long_64kb_removes_the_dip():
+    """Sec. 6.1: 'Setting via_long to 64 kB gets rid of a dip due to
+    the rendezvous threshold.'"""
+    stock = sweep(Mvich(), CLAN)  # default 16 KB threshold
+    tuned = sweep(Mvich.tuned(), CLAN)  # 64 KB
+    assert tuned.mbps_at(kb(16)) > stock.mbps_at(kb(16))
+
+
+def test_mvich_refuses_via_long_above_64kb():
+    """'increasing it higher caused the system to freeze up'."""
+    with pytest.raises(ValueError, match="froze"):
+        MvichParams(via_long=kb(128))
+
+
+def test_low_spin_count_adds_latency():
+    lazy = sweep(Mvich(MvichParams(spin_count=100)), CLAN)
+    spinny = sweep(Mvich(MvichParams(spin_count=10000)), CLAN)
+    assert lazy.latency_us > spinny.latency_us + 5
+
+
+# -- M-VIA over SysKonnect --------------------------------------------------------------
+def test_mvia_reaches_425_at_42us():
+    r = sweep(Mvich(), SK_PC)
+    assert r.max_mbps == pytest.approx(425, rel=0.08)
+    assert r.latency_us == pytest.approx(43, abs=2)
+
+
+def test_mvia_dip_at_16kb_rdma_threshold():
+    """Sec. 6.2: 'The small dip at 16 kB is at the RDMA threshold.'"""
+    r = sweep(MpLiteVia(), SK_PC)
+    at = r.mbps_at(kb(16))
+    below = r.mbps_at(kb(16) - 3)
+    assert at < below
+
+
+def test_mvia_no_better_than_raw_tcp():
+    """The paper's sobering M-VIA conclusion."""
+    from repro.mplib import RawTcp
+
+    via = sweep(MpLiteVia(), SK_PC)
+    tcp = sweep(RawTcp(), SK_PC)
+    assert via.max_mbps == pytest.approx(tcp.max_mbps, rel=0.12)

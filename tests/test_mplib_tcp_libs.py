@@ -1,0 +1,254 @@
+"""TCP message-passing library models: each library's paper behaviours."""
+
+import pytest
+
+from repro.core import netpipe_sizes, run_netpipe
+from repro.hw.catalog import (
+    COMPAQ_DS20,
+    NETGEAR_GA620,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+    TRENDNET_TEG_PCITX,
+)
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.mplib import (
+    LamMode,
+    LamMpi,
+    LamParams,
+    Mpich,
+    MpichParams,
+    MpiPro,
+    MpiProParams,
+    MpLite,
+    Pvm,
+    PvmEncoding,
+    PvmParams,
+    PvmRoute,
+    RawTcp,
+    Tcgmsg,
+)
+from repro.units import MB, kb
+
+GA620 = ClusterConfig(PENTIUM4_PC, NETGEAR_GA620, sysctl=TUNED_SYSCTL)
+TRENDNET = ClusterConfig(PENTIUM4_PC, TRENDNET_TEG_PCITX, sysctl=TUNED_SYSCTL)
+DS20_SK = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000, sysctl=TUNED_SYSCTL)
+
+#: A thinned schedule keeps each sweep fast while covering the features.
+SIZES = netpipe_sizes(stop=8 * MB)
+
+
+def sweep(lib, cfg=GA620):
+    return run_netpipe(lib, cfg, sizes=SIZES)
+
+
+# -- raw TCP ------------------------------------------------------------------
+def test_raw_tcp_is_the_reference_550(paper_tolerance=0.05):
+    r = sweep(RawTcp())
+    assert r.max_mbps == pytest.approx(550, rel=paper_tolerance)
+
+
+def test_raw_tcp_untuned_uses_os_default_buffers():
+    tuned = sweep(RawTcp(), TRENDNET)
+    untuned = sweep(RawTcp.untuned(), TRENDNET)
+    assert untuned.max_mbps == pytest.approx(290, rel=0.08)
+    assert tuned.max_mbps / untuned.max_mbps > 1.6
+
+
+# -- MPICH ---------------------------------------------------------------------
+def test_mpich_loses_25_to_30_percent_on_ga620():
+    """Fig. 1 / Sec. 7: the p4 buffered-receive memcpy costs MPICH
+    25-30 % of raw TCP for large messages."""
+    raw = sweep(RawTcp())
+    mpich = sweep(Mpich.tuned())
+    frac = mpich.max_mbps / raw.max_mbps
+    assert 0.68 <= frac <= 0.78
+
+
+def test_mpich_untuned_is_5x_slower():
+    """Sec. 4.1: P4_SOCKBUFSIZE 32 kB -> 256 kB was a 5-fold increase."""
+    untuned = sweep(Mpich())
+    tuned = sweep(Mpich.tuned())
+    assert untuned.plateau_mbps == pytest.approx(75, rel=0.15)
+    assert 4.0 <= tuned.plateau_mbps / untuned.plateau_mbps <= 7.0
+
+
+def test_mpich_sharp_dip_at_128kb_rendezvous():
+    """Sec. 4.1: 'the sharp dip at 128 kB in figure 1 where MPICH
+    starts using a large-message rendezvous mode'."""
+    r = sweep(Mpich.tuned())
+    at_cutoff = r.mbps_at(kb(128))
+    just_below = r.mbps_at(kb(128) - 3)
+    assert at_cutoff < just_below * 0.95
+
+
+def test_mpich_raising_rendezvous_cutoff_moves_the_dip():
+    """The cutoff is changeable only by editing the source; doing so
+    moves the dip (Sec. 3.1)."""
+    stock = sweep(Mpich.tuned())
+    patched = sweep(Mpich(MpichParams(p4_sockbufsize=kb(256), rendezvous_cutoff=kb(512))))
+    assert patched.mbps_at(kb(128)) > stock.mbps_at(kb(128))
+    assert patched.mbps_at(kb(512)) < patched.mbps_at(kb(512) - 3)
+
+
+def test_mpich_use_rndv_false_removes_dip():
+    no_rndv = sweep(Mpich(MpichParams(p4_sockbufsize=kb(256), use_rndv=False)))
+    assert no_rndv.dips(min_depth=0.04) == []
+
+
+# -- LAM/MPI ------------------------------------------------------------------
+def test_lam_with_O_near_raw_tcp_on_ga620():
+    raw = sweep(RawTcp())
+    lam = sweep(LamMpi.tuned())
+    assert lam.max_mbps / raw.max_mbps >= 0.95
+
+
+def test_lam_without_O_350_mbps():
+    """Sec. 4.2: 'LAM/MPI tops out at 350 Mbps when no optimizations
+    are used.'"""
+    lam = sweep(LamMpi(LamParams(mode=LamMode.C2C)))
+    assert lam.max_mbps == pytest.approx(350, rel=0.1)
+
+
+def test_lamd_cuts_throughput_to_260_and_doubles_latency():
+    """Sec. 4.2: lamd routing -> 260 Mb/s, latency 245 us."""
+    lamd = sweep(LamMpi.with_daemons())
+    assert lamd.max_mbps == pytest.approx(260, rel=0.1)
+    assert lamd.latency_us == pytest.approx(245, rel=0.08)
+
+
+def test_lam_rendezvous_dip_at_64kb():
+    lam = sweep(LamMpi.tuned())
+    assert lam.mbps_at(kb(64)) < lam.mbps_at(kb(64) - 3)
+
+
+def test_lam_suffers_about_half_on_trendnet():
+    """Fig. 2: LAM (untunable buffers) loses ~50 % on the TrendNet."""
+    raw = sweep(RawTcp(), TRENDNET)
+    lam = sweep(LamMpi.tuned(), TRENDNET)
+    assert lam.max_mbps / raw.max_mbps < 0.6
+
+
+# -- MPI/Pro --------------------------------------------------------------------
+def test_mpipro_within_5_percent_on_ga620():
+    raw = sweep(RawTcp())
+    pro = sweep(MpiPro.tuned())
+    assert pro.max_mbps / raw.max_mbps >= 0.93
+
+
+def test_mpipro_tcp_long_removes_dip():
+    """Sec. 4.3: raising tcp_long from 32 kB to 128 kB 'removes much of
+    a dip in performance at the rendezvous threshold'."""
+    stock = sweep(MpiPro())
+    tuned = sweep(MpiPro.tuned())
+    assert tuned.mbps_at(kb(32)) > stock.mbps_at(kb(32))
+
+
+def test_mpipro_flattens_on_trendnet():
+    """Sec. 4.3: MPI/Pro flattens out around 250 Mb/s on TrendNet."""
+    pro = sweep(MpiPro.tuned(), TRENDNET)
+    assert pro.max_mbps == pytest.approx(260, rel=0.15)
+
+
+# -- MP_Lite ----------------------------------------------------------------------
+def test_mplite_matches_raw_tcp_everywhere():
+    """Sec. 4.4: 'MP_Lite matches the raw TCP performance to within a
+    few percent on all GigE cards.'"""
+    for cfg in (GA620, TRENDNET, DS20_SK):
+        raw = sweep(RawTcp(), cfg)
+        lite = sweep(MpLite(), cfg)
+        assert lite.max_mbps / raw.max_mbps >= 0.97, cfg.nic.name
+
+
+def test_mplite_needs_sysctl_tuning_not_library_tuning():
+    """MP_Lite asks for the max the kernel allows; with default sysctl
+    limits it is as stuck as everyone else."""
+    from repro.hw.cluster import DEFAULT_SYSCTL
+
+    stuck = sweep(MpLite(), TRENDNET.with_sysctl(DEFAULT_SYSCTL))
+    free = sweep(MpLite(), TRENDNET)
+    assert free.max_mbps > 1.5 * stuck.max_mbps
+
+
+# -- PVM ---------------------------------------------------------------------------
+def test_pvm_daemon_route_collapses_to_90():
+    """Sec. 4.5: default pvmd routing 'limits performance to around
+    90 Mbps'."""
+    pvm = sweep(Pvm())
+    assert pvm.max_mbps == pytest.approx(90, rel=0.15)
+
+
+def test_pvm_direct_route_4x():
+    """'Bypassing the daemons ... produces a 4-fold increase to a
+    maximum of 330 Mbps.'"""
+    daemon = sweep(Pvm())
+    direct = sweep(Pvm.direct())
+    assert direct.max_mbps == pytest.approx(330, rel=0.1)
+    assert 3.0 <= direct.max_mbps / daemon.max_mbps <= 5.0
+
+
+def test_pvm_inplace_reaches_415():
+    """'PvmDataInPlace ... further increasing the maximum transfer rate
+    to 415 Mbps.'"""
+    best = sweep(Pvm.tuned())
+    assert best.max_mbps == pytest.approx(415, rel=0.1)
+
+
+def test_pvm_optimisation_order():
+    daemon = sweep(Pvm())
+    direct = sweep(Pvm.direct())
+    inplace = sweep(Pvm.tuned())
+    assert daemon.max_mbps < direct.max_mbps < inplace.max_mbps
+
+
+def test_pvm_trendnet_is_the_worst_of_fig2():
+    """Fig. 2: 'PVM has trouble with the TrendNet cards where it is
+    limited to only 190 Mbps.'"""
+    pvm = sweep(Pvm.tuned(), TRENDNET)
+    assert pvm.max_mbps == pytest.approx(200, rel=0.2)
+
+
+# -- TCGMSG ---------------------------------------------------------------------------
+def test_tcgmsg_matches_tcp_on_ga620():
+    raw = sweep(RawTcp())
+    tcg = sweep(Tcgmsg())
+    assert tcg.max_mbps / raw.max_mbps >= 0.97
+
+
+def test_tcgmsg_hardwired_buffer_hurts_on_ds20():
+    """Sec. 7: 32 kB hardwired -> ~400 Mb/s on SysKonnect/DS20 jumbo."""
+    tcg = sweep(Tcgmsg(), DS20_SK)
+    assert tcg.max_mbps == pytest.approx(400, rel=0.1)
+
+
+def test_tcgmsg_recompiled_with_128kb_matches_tcp():
+    """Sec. 7: recompiling with 128 kB took TCGMSG 'from 400 Mbps to
+    900 Mbps, matching raw TCP'."""
+    tcg = sweep(Tcgmsg.recompiled(kb(128)), DS20_SK)
+    raw = sweep(RawTcp(), DS20_SK)
+    assert tcg.max_mbps == pytest.approx(900, rel=0.05)
+    assert tcg.max_mbps / raw.max_mbps >= 0.97
+
+
+# -- registry ---------------------------------------------------------------------
+def test_registry_instantiates_every_library():
+    from repro.mplib import get_library, library_names
+
+    for name in library_names():
+        lib = get_library(name)
+        assert lib.display_name
+        assert isinstance(lib.progress_independent, bool)
+
+
+def test_registry_unknown_name():
+    from repro.mplib import get_library
+
+    with pytest.raises(KeyError, match="unknown library"):
+        get_library("no-such-thing")
+
+
+def test_registry_names_sorted():
+    from repro.mplib import library_names
+
+    names = library_names()
+    assert names == sorted(names)
+    assert "mpich-mplite" in names

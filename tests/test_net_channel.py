@@ -1,0 +1,167 @@
+"""SimChannel: DES execution must agree with the analytic LinkModel."""
+
+import pytest
+
+from repro.hw.catalog import NETGEAR_GA620, PENTIUM4_PC
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.net.channel import SimChannel
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.sim import Engine
+from repro.units import MB, kb
+
+
+@pytest.fixture()
+def channel():
+    engine = Engine()
+    cfg = ClusterConfig(PENTIUM4_PC, NETGEAR_GA620, sysctl=TUNED_SYSCTL)
+    link = TcpModel(cfg, TcpTuning(sockbuf_request=kb(512)))
+    return engine, SimChannel(engine, link), link
+
+
+def test_one_transfer_takes_transfer_time(channel):
+    engine, ch, link = channel
+    a, b = ch.endpoints
+    size = 1 * MB
+    got = {}
+
+    def sender():
+        yield from a.send(size)
+
+    def receiver():
+        msg = yield from b.recv()
+        got["at"] = engine.now
+        got["msg"] = msg
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert got["at"] == pytest.approx(link.transfer_time(size))
+    assert got["msg"].size == size
+
+
+def test_sender_unblocks_at_occupancy(channel):
+    engine, ch, link = channel
+    a, _ = ch.endpoints
+    size = 1 * MB
+    done = {}
+
+    def sender():
+        yield from a.send(size)
+        done["at"] = engine.now
+
+    engine.process(sender())
+    engine.run()
+    assert done["at"] == pytest.approx(link.occupancy(size))
+
+
+def test_back_to_back_sends_serialise(channel):
+    engine, ch, link = channel
+    a, b = ch.endpoints
+    size = 512 * 1024
+    arrivals = []
+
+    def sender():
+        yield from a.send(size)
+        yield from a.send(size)
+
+    def receiver():
+        for _ in range(2):
+            yield from b.recv()
+            arrivals.append(engine.now)
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert arrivals[0] == pytest.approx(link.transfer_time(size))
+    assert arrivals[1] == pytest.approx(link.occupancy(size) + link.transfer_time(size))
+
+
+def test_opposite_directions_are_full_duplex(channel):
+    engine, ch, link = channel
+    a, b = ch.endpoints
+    size = 1 * MB
+    arrivals = {}
+
+    def node(ep, name):
+        send_done = ep.channel.engine.process(ep.channel._inject(
+            ep.channel._make_message(ep.node, size, "data", None)))
+        msg = yield from ep.recv()
+        arrivals[name] = engine.now
+        yield send_done
+
+    engine.process(node(a, "a"))
+    engine.process(node(b, "b"))
+    engine.run()
+    # Both directions complete in one transfer_time: no shared bottleneck.
+    assert arrivals["a"] == pytest.approx(link.transfer_time(size))
+    assert arrivals["b"] == pytest.approx(link.transfer_time(size))
+
+
+def test_tagged_recv_matches_tag(channel):
+    engine, ch, _ = channel
+    a, b = ch.endpoints
+    order = []
+
+    def sender():
+        yield from a.send(100, tag="first")
+        yield from a.send(100, tag="second")
+
+    def receiver():
+        msg = yield from b.recv(tag="second")
+        order.append(msg.tag)
+        msg = yield from b.recv(tag="first")
+        order.append(msg.tag)
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert order == ["second", "first"]
+
+
+def test_isend_completes_before_delivery(channel):
+    engine, ch, link = channel
+    a, b = ch.endpoints
+    size = 1 * MB
+    t = {}
+
+    def sender():
+        req = a.isend(size)
+        yield req
+        t["send_done"] = engine.now
+
+    def receiver():
+        yield from b.recv()
+        t["recv_done"] = engine.now
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert t["send_done"] < t["recv_done"]
+
+
+def test_negative_size_rejected(channel):
+    engine, ch, _ = channel
+    a, _b = ch.endpoints
+
+    def sender():
+        yield from a.send(-1)
+
+    engine.process(sender())
+    with pytest.raises(ValueError):
+        engine.run()
+
+
+def test_message_counter(channel):
+    engine, ch, _ = channel
+    a, b = ch.endpoints
+
+    def sender():
+        yield from a.send(10)
+
+    def receiver():
+        yield from b.recv()
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert ch.messages_delivered == 1

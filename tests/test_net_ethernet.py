@@ -1,0 +1,64 @@
+"""Ethernet framing arithmetic."""
+
+import pytest
+
+from repro.net.ethernet import TCP_IP_OVERHEAD, WIRE_OVERHEAD, EthernetFraming
+from repro.units import mbps, to_mbps
+
+
+def test_standard_mtu_mss():
+    f = EthernetFraming(1500)
+    assert f.mss == 1448  # 1500 - 20 - 20 - 12 (timestamps)
+
+
+def test_jumbo_mss():
+    assert EthernetFraming(9000).mss == 8948
+
+
+def test_payload_efficiency_improves_with_jumbo():
+    std = EthernetFraming(1500)
+    jumbo = EthernetFraming(9000)
+    assert jumbo.payload_efficiency > std.payload_efficiency
+    assert std.payload_efficiency == pytest.approx(1448 / 1538)
+
+
+def test_gige_payload_rate_standard_mtu():
+    # ~941 Mb/s of TCP payload on 1000 Mb/s Ethernet at MTU 1500.
+    rate = EthernetFraming(1500).payload_rate(mbps(1000))
+    assert to_mbps(rate) == pytest.approx(941, abs=2)
+
+
+def test_segment_count_exact_boundary():
+    f = EthernetFraming(1500)
+    assert f.segments(1448) == 1
+    assert f.segments(1449) == 2
+    assert f.segments(0) == 1  # bare segment still crosses the wire
+
+
+def test_segments_rejects_negative():
+    with pytest.raises(ValueError):
+        EthernetFraming(1500).segments(-5)
+
+
+def test_mtu_too_small_rejected():
+    with pytest.raises(ValueError):
+        EthernetFraming(40)
+
+
+def test_frame_time_small_payload_carries_full_headers():
+    f = EthernetFraming(1500)
+    # A 1-byte payload still drags 52 bytes of TCP/IP headers plus the
+    # Ethernet frame overhead across the wire.
+    t1 = f.frame_time(1, mbps(1000))
+    assert t1 == pytest.approx((1 + TCP_IP_OVERHEAD + WIRE_OVERHEAD) / mbps(1000))
+
+
+def test_frame_time_full_segment():
+    f = EthernetFraming(1500)
+    t = f.frame_time(f.mss, mbps(1000))
+    assert t == pytest.approx((1500 + WIRE_OVERHEAD) / mbps(1000))
+
+
+def test_wire_overhead_constant():
+    assert WIRE_OVERHEAD == 38
+    assert TCP_IP_OVERHEAD == 52

@@ -1,0 +1,141 @@
+"""GM (Myrinet) and VIA transport models against the paper's anchors."""
+
+import pytest
+
+from repro.hw.catalog import (
+    GIGANET_CLAN,
+    MYRINET_PCI64A,
+    NETGEAR_GA620,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+)
+from repro.hw.cluster import ClusterConfig, TUNED_SYSCTL
+from repro.net.gm import GmModel, GmReceiveMode, IpOverGmModel
+from repro.net.tcp import TcpTuning
+from repro.net.via import ViaFlavor, ViaModel
+from repro.units import MB, kb, to_mbps, to_us
+
+BIG = 8 * MB
+
+
+def myri_cfg():
+    return ClusterConfig(PENTIUM4_PC, MYRINET_PCI64A)
+
+
+def clan_cfg():
+    # Giganet tests used an 8-port switch (Sec. 6).
+    return ClusterConfig(PENTIUM4_PC, GIGANET_CLAN, back_to_back=False)
+
+
+def sk_cfg():
+    return ClusterConfig(PENTIUM4_PC, SYSKONNECT_SK9843, sysctl=TUNED_SYSCTL)
+
+
+# -- GM ---------------------------------------------------------------------------
+def test_raw_gm_reaches_800_mbps():
+    m = GmModel(myri_cfg())
+    assert to_mbps(m.rate(BIG)) == pytest.approx(800, abs=20)
+
+
+def test_raw_gm_latency_16us():
+    m = GmModel(myri_cfg())
+    assert to_us(m.latency0) == pytest.approx(16, abs=1)
+
+
+def test_gm_blocking_mode_latency_36us():
+    """Sec. 5: 'the Blocking mode has a latency of 36 us compared to
+    16 us for the others.'"""
+    m = GmModel(myri_cfg(), GmReceiveMode.BLOCKING)
+    assert to_us(m.latency0) == pytest.approx(36, abs=2)
+
+
+def test_gm_polling_and_hybrid_identical():
+    p = GmModel(myri_cfg(), GmReceiveMode.POLLING)
+    h = GmModel(myri_cfg(), GmReceiveMode.HYBRID)
+    assert p.latency0 == h.latency0
+    assert p.rate(BIG) == h.rate(BIG)
+
+
+def test_gm_blocking_same_throughput_as_polling():
+    """All modes 'produce approximately the same results' for bandwidth."""
+    b = GmModel(myri_cfg(), GmReceiveMode.BLOCKING)
+    p = GmModel(myri_cfg(), GmReceiveMode.POLLING)
+    assert b.rate(BIG) == p.rate(BIG)
+
+
+def test_gm_is_pci_limited_on_the_pcs():
+    m = GmModel(myri_cfg())
+    assert m.rate(BIG) == pytest.approx(myri_cfg().pci_bandwidth)
+
+
+def test_gm_requires_myrinet_nic():
+    with pytest.raises(ValueError):
+        GmModel(ClusterConfig(PENTIUM4_PC, NETGEAR_GA620))
+
+
+# -- IP over GM ---------------------------------------------------------------------
+def test_ip_gm_latency_48us():
+    m = IpOverGmModel(myri_cfg(), TcpTuning(sockbuf_request=kb(512)))
+    assert to_us(m.latency0) == pytest.approx(48, abs=2)
+
+
+def test_ip_gm_throughput_similar_to_gige_tcp():
+    """Sec. 5: IP-GM 'otherwise offers similar performance' to TCP on
+    GigE (~550 Mb/s class, far below raw GM's 800)."""
+    m = IpOverGmModel(myri_cfg(), TcpTuning(sockbuf_request=kb(512)))
+    assert 450 <= to_mbps(m.rate(BIG)) <= 650
+
+
+def test_ip_gm_requires_myrinet():
+    with pytest.raises(ValueError):
+        IpOverGmModel(ClusterConfig(PENTIUM4_PC, NETGEAR_GA620))
+
+
+# -- VIA ---------------------------------------------------------------------------
+def test_giganet_hardware_via_reaches_800():
+    m = ViaModel(clan_cfg())
+    assert m.flavor is ViaFlavor.HARDWARE
+    assert to_mbps(m.rate(BIG)) == pytest.approx(800, abs=20)
+
+
+def test_giganet_latency_under_11us():
+    m = ViaModel(clan_cfg())
+    assert to_us(m.latency0) <= 11.0
+
+
+def test_mvia_over_syskonnect_reaches_425():
+    """Sec. 6.2: 'MVICH and MP_Lite/M-VIA ... reached a maximum of
+    425 Mbps with a 42 us latency.'"""
+    m = ViaModel(sk_cfg())
+    assert m.flavor is ViaFlavor.SOFTWARE
+    assert to_mbps(m.rate(BIG)) == pytest.approx(425, abs=20)
+
+
+def test_mvia_latency_42us():
+    m = ViaModel(sk_cfg())
+    assert to_us(m.latency0) == pytest.approx(42, abs=2)
+
+
+def test_mvia_matches_raw_tcp_on_same_hardware():
+    """The paper's M-VIA punchline: 'approximately the same performance
+    that raw TCP offers for this hardware configuration.'"""
+    from repro.net.tcp import TcpModel
+
+    via = ViaModel(sk_cfg())
+    tcp = TcpModel(sk_cfg(), TcpTuning(sockbuf_request=kb(512)))
+    assert via.rate(BIG) == pytest.approx(tcp.rate(BIG), rel=0.1)
+
+
+def test_hardware_via_needs_via_nic():
+    with pytest.raises(ValueError):
+        ViaModel(sk_cfg(), ViaFlavor.HARDWARE)
+
+
+def test_software_via_needs_ethernet_nic():
+    with pytest.raises(ValueError):
+        ViaModel(clan_cfg(), ViaFlavor.SOFTWARE)
+
+
+def test_hardware_rdma_at_least_descriptor_rate():
+    m = ViaModel(clan_cfg())
+    assert m.rdma_rate >= m.descriptor_rate

@@ -1,0 +1,211 @@
+"""The TCP model: pipeline stages, windowing, and the paper's anchors."""
+
+import pytest
+
+from repro.hw.catalog import (
+    COMPAQ_DS20,
+    NETGEAR_GA620,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+    TRENDNET_TEG_PCITX,
+)
+from repro.hw.cluster import ClusterConfig, DEFAULT_SYSCTL, TUNED_SYSCTL
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.units import MB, kb, mbps, to_mbps, to_us, us
+
+BIG = 8 * MB
+TUNED = TcpTuning(sockbuf_request=kb(512))
+
+
+def pc(nic, sysctl=TUNED_SYSCTL, **kw):
+    return ClusterConfig(PENTIUM4_PC, nic, sysctl=sysctl, **kw)
+
+
+# -- paper anchors (raw TCP) ---------------------------------------------------
+def test_ga620_pc_reaches_550_mbps():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    assert to_mbps(m.rate(BIG)) == pytest.approx(550, abs=15)
+
+
+def test_ga620_pc_latency_120us():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    assert to_us(m.latency0) == pytest.approx(120, abs=5)
+
+
+def test_trendnet_pc_tuned_reaches_550_mbps():
+    m = TcpModel(pc(TRENDNET_TEG_PCITX), TUNED)
+    assert to_mbps(m.rate(BIG)) == pytest.approx(550, abs=15)
+
+
+def test_trendnet_pc_latency_140us():
+    m = TcpModel(pc(TRENDNET_TEG_PCITX), TUNED)
+    assert to_us(m.latency0) == pytest.approx(140, abs=5)
+
+
+def test_trendnet_default_buffers_flatten_at_290():
+    """Sec. 4: 'the performance of the TrendNet GigE cards flattens out
+    at 290 Mbps when the default TCP socket buffer sizes are used'."""
+    m = TcpModel(pc(TRENDNET_TEG_PCITX, sysctl=DEFAULT_SYSCTL))
+    assert to_mbps(m.rate(BIG)) == pytest.approx(290, abs=15)
+
+
+def test_trendnet_big_buffers_roughly_double_throughput():
+    """Sec. 4: 'Increasing these to 512 kB ... doubling the raw
+    throughput.'"""
+    default = TcpModel(pc(TRENDNET_TEG_PCITX, sysctl=DEFAULT_SYSCTL))
+    tuned = TcpModel(pc(TRENDNET_TEG_PCITX), TUNED)
+    ratio = tuned.rate(BIG) / default.rate(BIG)
+    assert 1.6 <= ratio <= 2.3
+
+
+def test_syskonnect_jumbo_ds20_reaches_900():
+    cfg = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000, sysctl=TUNED_SYSCTL)
+    m = TcpModel(cfg, TUNED)
+    assert to_mbps(m.rate(BIG)) == pytest.approx(900, abs=25)
+
+
+def test_syskonnect_jumbo_ds20_latency_48us():
+    cfg = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000, sysctl=TUNED_SYSCTL)
+    m = TcpModel(cfg, TUNED)
+    assert to_us(m.latency0) == pytest.approx(48, abs=3)
+
+
+def test_syskonnect_jumbo_pc_pci_limited_to_710():
+    """Sec. 4: 'On the PCs, the 32-bit PCI bus limits the bandwidth of
+    these SysKonnect cards to a maximum of 710 Mbps'."""
+    m = TcpModel(pc(SYSKONNECT_SK9843).with_mtu(9000), TUNED)
+    assert to_mbps(m.rate(BIG)) == pytest.approx(710, abs=20)
+    assert m.bottleneck(BIG) == "pci"
+
+
+def test_tcgmsg_style_32kb_buffer_on_ds20_gives_400():
+    """Sec. 7: hardwired 32 kB buffer -> 400 Mb/s on SysKonnect/DS20."""
+    cfg = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000, sysctl=TUNED_SYSCTL)
+    m = TcpModel(cfg, TcpTuning(sockbuf_request=kb(32)))
+    assert to_mbps(m.rate(BIG)) == pytest.approx(400, abs=20)
+
+
+def test_raising_that_buffer_to_128kb_restores_900():
+    cfg = ClusterConfig(COMPAQ_DS20, SYSKONNECT_SK9843, mtu=9000, sysctl=TUNED_SYSCTL)
+    m = TcpModel(cfg, TcpTuning(sockbuf_request=kb(128)))
+    assert to_mbps(m.rate(BIG)) == pytest.approx(900, abs=25)
+
+
+# -- model mechanics ------------------------------------------------------------
+def test_messages_within_grace_not_window_limited():
+    m = TcpModel(pc(TRENDNET_TEG_PCITX, sysctl=DEFAULT_SYSCTL))
+    assert m.rate(kb(2)) == pytest.approx(m.pipeline_rate)
+    assert m.rate(kb(64)) < m.pipeline_rate
+
+
+def test_stream_time_continuous_at_grace_boundary():
+    m = TcpModel(pc(TRENDNET_TEG_PCITX, sysctl=DEFAULT_SYSCTL))
+    b = m.WINDOW_GRACE_BYTES
+    below = m.stream_time(b)
+    above = m.stream_time(b + 1)
+    assert above > below
+    assert above - below < us(1.0)
+
+
+def test_throughput_flattens_not_humps():
+    """The curve must rise monotonically to its plateau: no hump at the
+    socket-buffer size (the paper's buffer-limited curves flatten)."""
+    m = TcpModel(pc(TRENDNET_TEG_PCITX, sysctl=DEFAULT_SYSCTL))
+    peak = m.throughput(8 * MB)
+    for n in (kb(16), kb(32), kb(33), kb(64), MB):
+        assert m.throughput(n) <= peak * 1.02
+
+
+def test_stream_time_monotone_in_size():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    times = [m.stream_time(n) for n in (1, 100, kb(1), kb(64), MB, 8 * MB)]
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+def test_transfer_time_is_latency_plus_stream():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    n = kb(100)
+    assert m.transfer_time(n) == pytest.approx(m.latency0 + m.stream_time(n))
+
+
+def test_progress_stall_reduces_window_rate():
+    quick = TcpModel(pc(NETGEAR_GA620), TcpTuning(sockbuf_request=kb(32)))
+    stalled = TcpModel(
+        pc(NETGEAR_GA620),
+        TcpTuning(sockbuf_request=kb(32), progress_stall=us(3000)),
+    )
+    assert stalled.rate(BIG) < quick.rate(BIG)
+
+
+def test_mpich_5x_socket_buffer_effect():
+    """Sec. 4.1: P4_SOCKBUFSIZE 32 kB -> 256 kB was 'a 5-fold increase'
+    (75 -> ~375 Mb/s, before the p4 staging-copy loss)."""
+    stall = us(3000)
+    small = TcpModel(pc(NETGEAR_GA620), TcpTuning(kb(32), progress_stall=stall))
+    large = TcpModel(pc(NETGEAR_GA620), TcpTuning(kb(256), progress_stall=stall))
+    assert to_mbps(small.rate(BIG)) == pytest.approx(79, abs=8)
+    ratio = large.rate(BIG) / small.rate(BIG)
+    assert 4.0 <= ratio <= 8.0
+
+
+def test_latency_adder_passes_through():
+    base = TcpModel(pc(NETGEAR_GA620), TUNED)
+    padded = TcpModel(
+        pc(NETGEAR_GA620), TcpTuning(sockbuf_request=kb(512), latency_adder=us(30))
+    )
+    assert padded.latency0 - base.latency0 == pytest.approx(us(30))
+
+
+def test_jumbo_frames_raise_rx_cpu_rate():
+    std = TcpModel(pc(SYSKONNECT_SK9843), TUNED)
+    jumbo = TcpModel(pc(SYSKONNECT_SK9843).with_mtu(9000), TUNED)
+    assert jumbo.rx_cpu_rate > 2 * std.rx_cpu_rate
+
+
+def test_bottleneck_names_window_when_limited():
+    m = TcpModel(pc(TRENDNET_TEG_PCITX, sysctl=DEFAULT_SYSCTL))
+    assert m.bottleneck(BIG) == "window"
+    assert m.bottleneck(kb(1)) in {"wire", "pci", "tx-cpu", "rx-cpu"}
+
+
+def test_tuning_validation():
+    with pytest.raises(ValueError):
+        TcpTuning(progress_stall=-1.0)
+    with pytest.raises(ValueError):
+        TcpTuning(sockbuf_request=0)
+
+
+def test_throughput_increases_with_size():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    assert m.throughput(MB) > m.throughput(kb(1)) > m.throughput(8)
+
+
+def test_zero_byte_stream_time_is_zero():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    assert m.stream_time(0) == 0.0
+    with pytest.raises(ValueError):
+        m.stream_time(-1)
+
+
+def test_latency_components_sum_to_latency0():
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    comps = m.latency_components()
+    assert sum(comps.values()) == pytest.approx(m.latency0)
+
+
+def test_latency_is_mostly_driver_path_on_2_4_kernels():
+    """Sec. 4: 'The latencies are poor under the new Linux 2.4.x
+    kernel' — the dominant term is the driver/kernel path, not wire
+    serialisation or syscalls."""
+    m = TcpModel(pc(NETGEAR_GA620), TUNED)
+    comps = m.latency_components()
+    assert comps["wire+driver"] > 0.5 * m.latency0
+    assert comps["serialisation"] < 0.05 * m.latency0
+
+
+def test_library_component_reflects_adder():
+    padded = TcpModel(
+        pc(NETGEAR_GA620), TcpTuning(sockbuf_request=kb(512), latency_adder=us(30))
+    )
+    assert padded.latency_components()["library"] == pytest.approx(us(30))

@@ -1,0 +1,86 @@
+"""Synthetic traffic patterns on the fabric."""
+
+import pytest
+
+from repro.apps import Pattern, generate_destinations, run_pattern
+from repro.experiments import configs
+from repro.mplib import MpLite
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def test_generation_is_deterministic():
+    a = generate_destinations(Pattern.UNIFORM, 8, 16, seed=7)
+    b = generate_destinations(Pattern.UNIFORM, 8, 16, seed=7)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = generate_destinations(Pattern.UNIFORM, 8, 16, seed=1)
+    b = generate_destinations(Pattern.UNIFORM, 8, 16, seed=2)
+    assert a != b
+
+
+def test_no_self_sends_in_any_pattern():
+    for pattern in Pattern:
+        dests = generate_destinations(pattern, 7, 12, seed=3)
+        for src, dsts in dests.items():
+            assert all(d != src for d in dsts), pattern
+            assert all(0 <= d < 7 for d in dsts), pattern
+
+
+def test_neighbour_is_a_clean_permutation():
+    dests = generate_destinations(Pattern.NEIGHBOUR, 6, 4)
+    for src, dsts in dests.items():
+        assert dsts == [(src + 1) % 6] * 4
+
+
+def test_hotspot_targets_rank_zero():
+    dests = generate_destinations(Pattern.HOTSPOT, 5, 3)
+    for src in range(1, 5):
+        assert dests[src] == [0, 0, 0]
+    assert dests[0] == [1, 1, 1]
+
+
+def test_generation_validation():
+    with pytest.raises(ValueError):
+        generate_destinations(Pattern.UNIFORM, 1, 4)
+    with pytest.raises(ValueError):
+        generate_destinations(Pattern.UNIFORM, 4, 0)
+
+
+def test_pattern_ordering_on_crossbar():
+    """The textbook ordering: permutation > random > hotspot."""
+    results = {
+        p: run_pattern(MpLite(), GA620, p, nranks=8) for p in Pattern
+    }
+    bw = {p: r.aggregate_bandwidth for p, r in results.items()}
+    assert bw[Pattern.NEIGHBOUR] > bw[Pattern.UNIFORM] > bw[Pattern.HOTSPOT]
+
+
+def test_neighbour_scales_with_ranks():
+    small = run_pattern(MpLite(), GA620, Pattern.NEIGHBOUR, nranks=4)
+    big = run_pattern(MpLite(), GA620, Pattern.NEIGHBOUR, nranks=8)
+    assert big.aggregate_bandwidth == pytest.approx(
+        2 * small.aggregate_bandwidth, rel=0.05
+    )
+
+
+def test_hotspot_capped_at_one_port():
+    r = run_pattern(MpLite(), GA620, Pattern.HOTSPOT, nranks=8)
+    # Rank 0's RX port drains at ~68.8 MB/s; aggregate includes rank
+    # 0's own outgoing messages, hence slightly above.
+    assert r.aggregate_bandwidth < 90e6
+
+
+def test_result_accounting():
+    r = run_pattern(MpLite(), GA620, Pattern.NEIGHBOUR, nranks=4,
+                    message_bytes=1000, messages_per_rank=5)
+    assert r.total_bytes == 4 * 5 * 1000
+    assert r.completion_time > 0
+
+
+def test_run_is_deterministic():
+    a = run_pattern(MpLite(), GA620, Pattern.UNIFORM, nranks=6, seed=9)
+    b = run_pattern(MpLite(), GA620, Pattern.UNIFORM, nranks=6, seed=9)
+    assert a.completion_time == b.completion_time

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NetPipePoint, NetPipeResult, netpipe_sizes
+from repro.hw.catalog import (
+    COMPAQ_DS20,
+    NETGEAR_GA620,
+    PENTIUM4_PC,
+    SYSKONNECT_SK9843,
+    TRENDNET_TEG_PCITX,
+)
+from repro.hw.cluster import ClusterConfig, SysctlConfig
+from repro.net.ethernet import EthernetFraming
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.sim import Engine, Store
+from repro.units import kb, us
+
+NICS = [NETGEAR_GA620, TRENDNET_TEG_PCITX, SYSKONNECT_SK9843]
+
+
+# -- engine properties -------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=20))
+def test_engine_clock_never_goes_backwards(delays):
+    eng = Engine()
+    seen = []
+
+    def proc(eng):
+        for d in delays:
+            yield eng.timeout(d)
+            seen.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert seen == sorted(seen)
+    assert seen[-1] <= sum(delays) * (1 + 1e-9)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+def test_store_preserves_all_items(items):
+    eng = Engine()
+    store = Store(eng)
+    for item in items:
+        store.put(item)
+    got = []
+
+    def drain(eng):
+        for _ in range(len(items)):
+            got.append((yield store.get()))
+
+    eng.process(drain(eng))
+    eng.run()
+    assert got == list(items)
+
+
+# -- size schedule properties ---------------------------------------------------------
+@given(
+    start=st.integers(min_value=1, max_value=64),
+    stop_exp=st.integers(min_value=8, max_value=24),
+    perturbation=st.integers(min_value=0, max_value=7),
+)
+def test_sizes_always_sorted_unique_and_bounded(start, stop_exp, perturbation):
+    stop = 2**stop_exp
+    sizes = netpipe_sizes(start=start, stop=stop, perturbation=perturbation)
+    assert sizes == sorted(set(sizes))
+    assert sizes[0] >= start and sizes[-1] <= stop
+    assert start in sizes and stop in sizes
+
+
+# -- framing properties ----------------------------------------------------------------
+@given(
+    mtu=st.integers(min_value=576, max_value=9000),
+    n=st.integers(min_value=0, max_value=10_000_000),
+)
+def test_segment_count_covers_payload(mtu, n):
+    f = EthernetFraming(mtu)
+    segs = f.segments(n)
+    assert segs >= 1
+    assert segs * f.mss >= n
+    if n > 0:
+        assert (segs - 1) * f.mss < n
+
+
+@given(mtu=st.integers(min_value=576, max_value=9000))
+def test_payload_efficiency_in_unit_interval(mtu):
+    f = EthernetFraming(mtu)
+    assert 0 < f.payload_efficiency < 1
+
+
+# -- TCP model properties ---------------------------------------------------------------
+def tcp_models():
+    return st.builds(
+        lambda nic, host, buf, stall: TcpModel(
+            ClusterConfig(
+                host,
+                nic,
+                sysctl=SysctlConfig(default=kb(32), maximum=kb(1024)),
+            ),
+            TcpTuning(sockbuf_request=buf, progress_stall=stall),
+        ),
+        nic=st.sampled_from(NICS),
+        host=st.sampled_from([PENTIUM4_PC, COMPAQ_DS20]),
+        buf=st.one_of(st.none(), st.integers(min_value=kb(4), max_value=kb(1024))),
+        stall=st.floats(min_value=0.0, max_value=us(5000)),
+    )
+
+
+@settings(max_examples=60)
+@given(model=tcp_models(), n=st.integers(min_value=0, max_value=16 * 1024 * 1024))
+def test_tcp_stream_time_nonnegative_finite(model, n):
+    t = model.stream_time(n)
+    assert t >= 0 and math.isfinite(t)
+
+
+@settings(max_examples=60)
+@given(
+    model=tcp_models(),
+    a=st.integers(min_value=0, max_value=8 * 1024 * 1024),
+    b=st.integers(min_value=0, max_value=8 * 1024 * 1024),
+)
+def test_tcp_stream_time_monotone(model, a, b):
+    lo, hi = sorted((a, b))
+    assert model.stream_time(lo) <= model.stream_time(hi) + 1e-15
+
+
+@settings(max_examples=60)
+@given(model=tcp_models(), n=st.integers(min_value=1, max_value=8 * 1024 * 1024))
+def test_tcp_rate_never_exceeds_pipeline(model, n):
+    assert model.rate(n) <= model.pipeline_rate * (1 + 1e-9)
+
+
+@settings(max_examples=40)
+@given(
+    model=tcp_models(),
+    n=st.integers(min_value=kb(64), max_value=8 * 1024 * 1024),
+)
+def test_bigger_buffers_never_slower(model, n):
+    """Raising the socket buffer must never reduce throughput — the
+    paper's tuning advice as an invariant."""
+    cfg = model.config
+    small = TcpModel(cfg, TcpTuning(sockbuf_request=kb(16)))
+    big = TcpModel(cfg, TcpTuning(sockbuf_request=kb(512)))
+    assert big.rate(n) >= small.rate(n) * (1 - 1e-9)
+
+
+@settings(max_examples=40)
+@given(model=tcp_models())
+def test_latency_positive(model):
+    assert model.latency0 > 0
+
+
+# -- result container properties -----------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10**7),
+            st.floats(min_value=1e-7, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_result_invariants(raw_points):
+    points = [NetPipePoint(size=s, oneway_time=t) for s, t in raw_points]
+    r = NetPipeResult("lib", "cfg", points)
+    assert [p.size for p in r.points] == sorted(p.size for p in points)
+    assert r.max_mbps >= r.plateau_mbps - 1e-12
+    assert min(p.mbps for p in r.points) <= r.plateau_mbps
+    for s, _ in raw_points:
+        assert r.point_at(s).size == s  # exact sizes resolve exactly
+    for size, depth in r.dips(min_depth=0.01):
+        assert 0.01 <= depth <= 1.0

@@ -1,0 +1,112 @@
+"""Property-based tests: collective algorithms conserve bytes.
+
+Using the communicators' instrumentation, every collective's total
+traffic must match its algorithmic footprint regardless of world size
+or payload — the invariant that catches tree-indexing bugs.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import build_world, run_ranks
+from repro.collectives import BARRIER_MSG_BYTES
+from repro.experiments import configs
+from repro.mplib import RawTcp
+from repro.sim import Engine
+
+CFG = configs.pc_netgear_ga620()
+
+worlds = st.integers(min_value=2, max_value=9)
+payloads = st.integers(min_value=1, max_value=64 * 1024)
+
+
+def run_collective(nranks, op):
+    engine = Engine()
+    comms = build_world(engine, RawTcp(), CFG, nranks)
+
+    def program(comm):
+        yield from op(comm)
+        return comm.bytes_sent
+
+    sent = run_ranks(engine, comms, program)
+    return sum(sent), sent
+
+
+@settings(max_examples=25, deadline=None)
+@given(nranks=worlds, root=st.integers(min_value=0, max_value=100))
+def test_bcast_sends_exactly_p_minus_1_messages(nranks, root):
+    root %= nranks
+    n = 1000
+    total, _ = run_collective(nranks, lambda c: c.bcast(root, n))
+    # A broadcast tree delivers the payload to p-1 ranks, once each.
+    assert total == (nranks - 1) * n
+
+
+@settings(max_examples=25, deadline=None)
+@given(nranks=worlds, root=st.integers(min_value=0, max_value=100), n=payloads)
+def test_reduce_sends_exactly_p_minus_1_messages(nranks, root, n):
+    root %= nranks
+    total, _ = run_collective(nranks, lambda c: c.reduce(root, n))
+    assert total == (nranks - 1) * n
+
+
+@settings(max_examples=20, deadline=None)
+@given(nranks=worlds, n=payloads)
+def test_allgather_ring_traffic(nranks, n):
+    total, per_rank = run_collective(nranks, lambda c: c.allgather(n))
+    # Ring: every rank sends one block per step, p-1 steps.
+    assert total == nranks * (nranks - 1) * n
+    assert all(s == (nranks - 1) * n for s in per_rank)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nranks=worlds, n=payloads)
+def test_alltoall_traffic(nranks, n):
+    total, per_rank = run_collective(nranks, lambda c: c.alltoall(n))
+    assert total == nranks * (nranks - 1) * n
+    assert all(s == (nranks - 1) * n for s in per_rank)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nranks=worlds, root=st.integers(min_value=0, max_value=100), n=payloads)
+def test_gather_moves_every_block_exactly_once_per_level(nranks, root, n):
+    from repro.collectives import gather
+
+    root %= nranks
+    total, _ = run_collective(nranks, lambda c: gather(c, root, n))
+    # Binomial gather: rank r's block crosses the fabric once per tree
+    # level between r and the root; total = sum over non-root ranks of
+    # the subtree sizes they forward.  Lower bound: every block moves
+    # at least once; upper bound: at most ceil(log2 p) times.
+    assert total >= (nranks - 1) * n
+    assert total <= (nranks - 1) * n * math.ceil(math.log2(nranks))
+
+
+@settings(max_examples=25, deadline=None)
+@given(nranks=worlds, root=st.integers(min_value=0, max_value=100), n=payloads)
+def test_scatter_mirrors_gather_traffic(nranks, root, n):
+    from repro.collectives import gather, scatter
+
+    root %= nranks
+    up, _ = run_collective(nranks, lambda c: gather(c, root, n))
+    down, _ = run_collective(nranks, lambda c: scatter(c, root, n))
+    # Scatter is gather reversed: identical traffic volume.
+    assert down == up
+
+
+@settings(max_examples=15, deadline=None)
+@given(nranks=worlds)
+def test_barrier_traffic_is_log_rounds(nranks):
+    total, per_rank = run_collective(nranks, lambda c: c.barrier())
+    rounds = math.ceil(math.log2(nranks))
+    assert all(s == rounds * BARRIER_MSG_BYTES for s in per_rank)
+
+
+@settings(max_examples=15, deadline=None)
+@given(nranks=st.sampled_from([2, 4, 8]), n=payloads)
+def test_allreduce_pow2_traffic(nranks, n):
+    total, per_rank = run_collective(nranks, lambda c: c.allreduce(n))
+    # Recursive doubling: log2(p) exchanges of n bytes per rank.
+    rounds = int(math.log2(nranks))
+    assert all(s == rounds * n for s in per_rank)

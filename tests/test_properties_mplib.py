@@ -1,0 +1,101 @@
+"""Property tests over the library-spec space.
+
+Random (valid) TcpLibSpec values must always produce a sane library:
+positive latencies, monotone transfer times, ping-pongs that terminate,
+and throughput that never exceeds the raw transport's.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import measure_pingpong, run_netpipe
+from repro.experiments import configs
+from repro.mplib import RawTcp
+from repro.mplib.tcp_base import Route, TcpLibrary, TcpLibSpec
+from repro.sim import Engine
+from repro.units import kb, us
+
+CFG = configs.pc_netgear_ga620()
+
+
+def specs():
+    return st.builds(
+        TcpLibSpec,
+        library=st.just("FuzzLib"),
+        sockbuf_request=st.one_of(
+            st.none(), st.integers(min_value=kb(4), max_value=kb(1024))
+        ),
+        use_max_sockbuf=st.booleans(),
+        progress_stall=st.floats(min_value=0, max_value=us(5000)),
+        latency_adder=st.floats(min_value=0, max_value=us(200)),
+        header_bytes=st.integers(min_value=0, max_value=256),
+        eager_threshold=st.one_of(
+            st.none(), st.integers(min_value=0, max_value=kb(512))
+        ),
+        rx_staging_copies=st.integers(min_value=0, max_value=3),
+        tx_staging_copies=st.integers(min_value=0, max_value=3),
+        overlap_copy_chunk=st.one_of(
+            st.none(), st.integers(min_value=1024, max_value=kb(64))
+        ),
+        conversion_rate=st.one_of(
+            st.none(), st.floats(min_value=50e6, max_value=1e9)
+        ),
+        fragment_size=st.one_of(
+            st.none(), st.integers(min_value=1024, max_value=kb(64))
+        ),
+        fragment_cost=st.floats(min_value=0, max_value=us(20)),
+        route=st.just(Route.DIRECT),
+        daemon_bandwidth=st.none(),
+        daemon_latency=st.just(0.0),
+    )
+
+
+def oneway(spec: TcpLibSpec, size: int) -> float:
+    lib = TcpLibrary(spec)
+    engine = Engine()
+    a, b = lib.build(engine, CFG)
+    return measure_pingpong(engine, a, b, size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=specs(), size=st.integers(min_value=1, max_value=2 * 1024 * 1024))
+def test_any_spec_pingpong_terminates_positively(spec, size):
+    t = oneway(spec, size)
+    assert t > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec=specs(),
+    a=st.integers(min_value=1, max_value=1024 * 1024),
+    b=st.integers(min_value=1, max_value=1024 * 1024),
+)
+def test_transfer_time_monotone_in_size(spec, a, b):
+    lo, hi = sorted((a, b))
+    # Rendezvous switching can add a fixed handshake, so compare within
+    # the same protocol regime.
+    t = spec.eager_threshold
+    if t is not None and (lo < t) != (hi < t):
+        return
+    assert oneway(spec, lo) <= oneway(spec, hi) * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs(), size=st.integers(min_value=1024, max_value=2 * 1024 * 1024))
+def test_no_spec_beats_raw_tcp(spec, size):
+    """A protocol layer can only add costs: the raw transport with the
+    same effective socket buffer is a lower bound on one-way time."""
+    raw_spec = TcpLibSpec(
+        library="raw",
+        sockbuf_request=spec.sockbuf_request,
+        use_max_sockbuf=spec.use_max_sockbuf,
+        header_bytes=0,
+    )
+    assert oneway(spec, size) >= oneway(raw_spec, size) * (1 - 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=specs())
+def test_netpipe_sweep_completes(spec):
+    r = run_netpipe(TcpLibrary(spec), CFG, sizes=[1, 64, kb(8), kb(256)])
+    assert len(r) == 4
+    assert all(p.oneway_time > 0 for p in r.points)

@@ -1,0 +1,116 @@
+"""Seeded stress tests: MiniMP under randomised message sequences.
+
+Deterministic pseudo-random traffic (no hypothesis here — real sockets
+and threads want bounded, reproducible scenarios) exercising mixed
+sizes, tags, eager/rendezvous boundaries and bidirectional traffic.
+"""
+
+import threading
+
+import pytest
+
+from repro.realnet import MiniMP, MiniMPConfig, connect_pair
+from repro.units import kb
+
+
+class Lcg:
+    """Deterministic pseudo-random stream for reproducible stress runs."""
+
+    def __init__(self, seed):
+        self.state = seed * 2654435761 % 2**32 or 1
+
+    def next(self, bound):
+        self.state = (self.state * 1103515245 + 12345) % 2**31
+        return self.state % bound
+
+
+def make_pair(threshold=kb(8)):
+    a, b = connect_pair()
+    cfg = MiniMPConfig(eager_threshold=threshold)
+    return MiniMP(a, cfg), MiniMP(b, cfg)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_mixed_size_sequence_across_threshold(seed):
+    """A pseudo-random size sequence straddling the eager/rendezvous
+    boundary arrives intact and in order."""
+    rng = Lcg(seed)
+    sizes = [1 + rng.next(kb(32)) for _ in range(40)]
+    a, b = make_pair(threshold=kb(8))
+    received = []
+
+    def receiver():
+        for size in sizes:
+            received.append(b.recv(size))
+
+    t = threading.Thread(target=receiver)
+    t.start()
+    try:
+        for i, size in enumerate(sizes):
+            a.send(bytes([i % 256]) * size)
+        t.join(timeout=30)
+        assert not t.is_alive()
+        assert [len(p) for p in received] == sizes
+        for i, payload in enumerate(received):
+            assert payload == bytes([i % 256]) * sizes[i]
+    finally:
+        a.close()
+        b.close()
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_bidirectional_interleaved_traffic(seed):
+    """Both sides send simultaneously; eager traffic interleaving with
+    the peer's receives must match by tag with nothing lost."""
+    rng = Lcg(seed)
+    n_msgs = 25
+    sizes_ab = [1 + rng.next(kb(4)) for _ in range(n_msgs)]
+    sizes_ba = [1 + rng.next(kb(4)) for _ in range(n_msgs)]
+    a, b = make_pair(threshold=None)  # always eager: true full duplex
+    got_at_b, got_at_a = [], []
+
+    def side(mp, out_sizes, in_sizes, got):
+        for i in range(n_msgs):
+            mp.send(b"x" * out_sizes[i], tag=i)
+        for i in range(n_msgs):
+            got.append(mp.recv(in_sizes[i], tag=i))
+
+    ta = threading.Thread(target=side, args=(a, sizes_ab, sizes_ba, got_at_a))
+    tb = threading.Thread(target=side, args=(b, sizes_ba, sizes_ab, got_at_b))
+    ta.start()
+    tb.start()
+    try:
+        ta.join(timeout=30)
+        tb.join(timeout=30)
+        assert not ta.is_alive() and not tb.is_alive()
+        assert [len(p) for p in got_at_b] == sizes_ab
+        assert [len(p) for p in got_at_a] == sizes_ba
+    finally:
+        a.close()
+        b.close()
+
+
+def test_out_of_order_tags_heavy():
+    """Receive in reverse tag order: everything staged, nothing lost."""
+    a, b = make_pair(threshold=None)
+    n = 30
+    done = []
+
+    def receiver():
+        for tag in reversed(range(n)):
+            done.append((tag, b.recv(64, tag=tag)))
+
+    t = threading.Thread(target=receiver)
+    t.start()
+    try:
+        for tag in range(n):
+            a.send(bytes([tag]) * 64, tag=tag)
+        t.join(timeout=30)
+        assert not t.is_alive()
+        assert [tag for tag, _ in done] == list(reversed(range(n)))
+        for tag, payload in done:
+            assert payload == bytes([tag]) * 64
+        assert b.staging_copies >= n - 1  # all but the last staged
+    finally:
+        a.close()
+        b.close()

@@ -1,0 +1,49 @@
+"""The real N-process mesh: bootstrap, point-to-point, collectives."""
+
+import pytest
+
+from repro.realnet.world import PROGRAMS, MiniWorld, run_world
+
+
+def test_ring_token_counts_hops():
+    # Two laps around 4 ranks: the token is incremented by ranks 1-3
+    # each lap.
+    assert run_world(4, "ring-token") == 6
+
+
+def test_ring_token_two_ranks():
+    assert run_world(2, "ring-token") == 2
+
+
+def test_bcast_delivers_and_reduce_sums():
+    result = run_world(4, "bcast-roundtrip")
+    assert result["bytes"] == 2048
+    assert result["total"] == 4 * result["each"]
+
+
+def test_bcast_roundtrip_odd_world():
+    result = run_world(3, "bcast-roundtrip")
+    assert result["total"] == 3 * result["each"]
+
+
+def test_barrier_storm_survives():
+    assert run_world(5, "barrier-storm") == "ok"
+
+
+def test_world_needs_two_ranks():
+    with pytest.raises(ValueError):
+        run_world(1, "barrier-storm")
+
+
+def test_unknown_program_rejected():
+    with pytest.raises(KeyError):
+        run_world(2, "no-such-program")
+
+
+def test_programs_registry_has_expected_entries():
+    assert {"barrier-storm", "bcast-roundtrip", "ring-token"} <= set(PROGRAMS)
+
+
+def test_miniworld_validates_peer_map():
+    with pytest.raises(ValueError):
+        MiniWorld(rank=0, size=3, peers={1: None})

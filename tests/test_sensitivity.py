@@ -1,0 +1,50 @@
+"""Calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import format_sensitivity, perturb_nic, sensitivity_sweep
+from repro.experiments import FIG4
+from repro.hw.catalog import NETGEAR_GA620
+
+
+def test_perturb_scales_one_field():
+    p = perturb_nic(NETGEAR_GA620, "ack_rtt", 0.10)
+    assert p.ack_rtt == pytest.approx(NETGEAR_GA620.ack_rtt * 1.1)
+    assert p.rx_per_packet_time == NETGEAR_GA620.rx_per_packet_time
+
+
+def test_perturb_clamps_efficiency():
+    p = perturb_nic(NETGEAR_GA620, "link_efficiency", 0.5)
+    assert p.link_efficiency == 1.0
+
+
+def test_perturb_rejects_quoted_fields():
+    with pytest.raises(ValueError):
+        perturb_nic(NETGEAR_GA620, "price_usd", 0.1)
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        sensitivity_sweep(FIG4, fraction=0.0)
+
+
+def test_fig4_robust_to_small_perturbations():
+    """Figure 4's anchors should survive 3% shifts in every calibrated
+    parameter — the reproduction is not knife-edge."""
+    rows = sensitivity_sweep(FIG4, fraction=0.03)
+    assert all(r.survival >= 0.8 for r in rows), format_sensitivity(rows)
+    # And most directions should be fully clean.
+    assert sum(r.survival == 1.0 for r in rows) >= len(rows) - 3
+
+
+def test_large_perturbations_do_break_anchors():
+    """Sanity: the anchors are not vacuous — a 40% shift in the
+    latency-setting parameter must flip some."""
+    rows = sensitivity_sweep(FIG4, fraction=0.4, fields=("wire_latency",))
+    assert any(r.survival < 1.0 for r in rows)
+
+
+def test_format_renders():
+    rows = sensitivity_sweep(FIG4, fraction=0.03, fields=("ack_rtt",))
+    text = format_sensitivity(rows)
+    assert "ack_rtt" in text and "%" in text

@@ -1,0 +1,299 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.sim import Engine, SimError, Interrupt
+
+
+def test_time_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(2.5)
+        return eng.now
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert eng.now == 2.5
+    assert p.value == 2.5
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    eng = Engine()
+    trace = []
+
+    def proc(eng):
+        for d in (1.0, 0.5, 0.25):
+            yield eng.timeout(d)
+            trace.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert trace == [1.0, 1.5, 1.75]
+
+
+def test_two_processes_interleave_deterministically():
+    eng = Engine()
+    trace = []
+
+    def proc(eng, name, step):
+        for _ in range(3):
+            yield eng.timeout(step)
+            trace.append((name, eng.now))
+
+    eng.process(proc(eng, "a", 1.0))
+    eng.process(proc(eng, "b", 1.5))
+    eng.run()
+    # At the t=3.0 tie, b's timeout was scheduled first (at t=1.5, vs a's
+    # at t=2.0), so b fires first: ties break by scheduling order.
+    assert trace == [
+        ("a", 1.0),
+        ("b", 1.5),
+        ("a", 2.0),
+        ("b", 3.0),
+        ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_tie_break_is_creation_order():
+    eng = Engine()
+    trace = []
+
+    def proc(eng, name):
+        yield eng.timeout(1.0)
+        trace.append(name)
+
+    for name in ("first", "second", "third"):
+        eng.process(proc(eng, name))
+    eng.run()
+    assert trace == ["first", "second", "third"]
+
+
+def test_process_return_value_propagates():
+    eng = Engine()
+
+    def inner(eng):
+        yield eng.timeout(1.0)
+        return 42
+
+    def outer(eng):
+        value = yield eng.process(inner(eng))
+        return value * 2
+
+    p = eng.process(outer(eng))
+    eng.run()
+    assert p.value == 84
+
+
+def test_run_until_time_stops_early():
+    eng = Engine()
+    trace = []
+
+    def proc(eng):
+        while True:
+            yield eng.timeout(1.0)
+            trace.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run(until=3.5)
+    assert trace == [1.0, 2.0, 3.0]
+    assert eng.now == 3.5
+
+
+def test_run_until_event_returns_value():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(2.0)
+        return "payload"
+
+    p = eng.process(proc(eng))
+    assert eng.run(until=p) == "payload"
+    assert eng.now == 2.0
+
+
+def test_run_until_past_time_rejected():
+    eng = Engine()
+    eng.run(until=5.0)
+    with pytest.raises(ValueError):
+        eng.run(until=1.0)
+
+
+def test_deadlock_detected_when_awaiting_unfireable_event():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.event()  # never triggered
+
+    p = eng.process(proc(eng))
+    with pytest.raises(SimError, match="deadlock"):
+        eng.run(until=p)
+
+
+def test_exception_in_process_propagates_to_waiter():
+    eng = Engine()
+
+    def bad(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def waiter(eng):
+        try:
+            yield eng.process(bad(eng))
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = eng.process(waiter(eng))
+    eng.run()
+    assert p.value == "boom"
+
+
+def test_unhandled_exception_raises_out_of_run():
+    eng = Engine()
+
+    def bad(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("boom")
+
+    eng.process(bad(eng))
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+
+
+def test_yielding_non_event_is_an_error():
+    eng = Engine()
+
+    def bad(eng):
+        yield 3.0  # not an Event
+
+    eng.process(bad(eng))
+    with pytest.raises(SimError, match="must yield Event"):
+        eng.run()
+
+
+def test_event_succeed_delivers_value():
+    eng = Engine()
+    ev = eng.event()
+
+    def waiter(eng):
+        value = yield ev
+        return value
+
+    def firer(eng):
+        yield eng.timeout(1.0)
+        ev.succeed("hello")
+
+    p = eng.process(waiter(eng))
+    eng.process(firer(eng))
+    eng.run()
+    assert p.value == "hello"
+
+
+def test_event_cannot_trigger_twice():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+
+    def waiter(eng):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = eng.process(waiter(eng))
+    ev.fail(ValueError("bad"))
+    eng.run()
+    assert p.value == "caught bad"
+
+
+def test_all_of_waits_for_every_event():
+    eng = Engine()
+
+    def worker(eng, delay, value):
+        yield eng.timeout(delay)
+        return value
+
+    def coordinator(eng):
+        procs = [eng.process(worker(eng, d, d)) for d in (3.0, 1.0, 2.0)]
+        values = yield eng.all_of(procs)
+        return (eng.now, values)
+
+    p = eng.process(coordinator(eng))
+    eng.run()
+    assert p.value == (3.0, (3.0, 1.0, 2.0))
+
+
+def test_any_of_fires_on_first():
+    eng = Engine()
+
+    def worker(eng, delay, value):
+        yield eng.timeout(delay)
+        return value
+
+    def coordinator(eng):
+        procs = [eng.process(worker(eng, d, d)) for d in (3.0, 1.0, 2.0)]
+        first = yield eng.any_of(procs)
+        return (eng.now, first)
+
+    p = eng.process(coordinator(eng))
+    eng.run()
+    assert p.value == (1.0, 1.0)
+
+
+def test_interrupt_wakes_sleeping_process():
+    eng = Engine()
+
+    def sleeper(eng):
+        try:
+            yield eng.timeout(100.0)
+            return "overslept"
+        except Interrupt as i:
+            return ("interrupted", eng.now, i.cause)
+
+    def interrupter(eng, victim):
+        yield eng.timeout(1.0)
+        victim.interrupt("wake up")
+
+    victim = eng.process(sleeper(eng))
+    eng.process(interrupter(eng, victim))
+    eng.run(until=victim)
+    assert victim.value == ("interrupted", 1.0, "wake up")
+
+
+def test_events_processed_counter():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        yield eng.timeout(1.0)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert eng.events_processed >= 3  # start kick + two timeouts
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    assert eng.peek() == float("inf")
+    eng.timeout(4.0)
+    # A raw timeout with no process still sits in the heap.
+    assert eng.peek() == 4.0

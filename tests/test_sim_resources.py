@@ -1,0 +1,210 @@
+"""Unit tests for Resource / Store / PriorityStore primitives."""
+
+import pytest
+
+from repro.sim import Engine, Resource, Store, PriorityStore
+
+
+def test_resource_grants_immediately_when_free():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def proc(eng):
+        req = res.request()
+        yield req
+        t = eng.now
+        res.release(req)
+        return t
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == 0.0
+
+
+def test_resource_serialises_contenders():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    trace = []
+
+    def proc(eng, name, hold):
+        req = res.request()
+        yield req
+        trace.append((name, "acquired", eng.now))
+        yield eng.timeout(hold)
+        res.release(req)
+
+    eng.process(proc(eng, "a", 2.0))
+    eng.process(proc(eng, "b", 1.0))
+    eng.run()
+    assert trace == [("a", "acquired", 0.0), ("b", "acquired", 2.0)]
+
+
+def test_resource_capacity_two_allows_parallelism():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    trace = []
+
+    def proc(eng, name):
+        req = res.request()
+        yield req
+        trace.append((name, eng.now))
+        yield eng.timeout(1.0)
+        res.release(req)
+
+    for name in "abc":
+        eng.process(proc(eng, name))
+    eng.run()
+    assert trace == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_rejects_oversized_request():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    with pytest.raises(ValueError):
+        res.request(3)
+    with pytest.raises(ValueError):
+        res.request(0)
+
+
+def test_resource_over_release_detected():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def proc(eng):
+        req = res.request()
+        yield req
+        res.release(req)
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    eng.process(proc(eng))
+    eng.run()
+
+
+def test_resource_utilisation_accounting():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        req = res.request()
+        yield req
+        yield eng.timeout(1.0)
+        res.release(req)
+        yield eng.timeout(2.0)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert res.utilisation() == pytest.approx(0.25)
+
+
+def test_store_fifo_order():
+    eng = Engine()
+    store = Store(eng)
+    store.put("x")
+    store.put("y")
+    got = []
+
+    def proc(eng):
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    eng.process(proc(eng))
+    eng.run()
+    assert got == ["x", "y"]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+
+    def getter(eng):
+        item = yield store.get()
+        return (item, eng.now)
+
+    def putter(eng):
+        yield eng.timeout(3.0)
+        store.put("late")
+
+    p = eng.process(getter(eng))
+    eng.process(putter(eng))
+    eng.run()
+    assert p.value == ("late", 3.0)
+
+
+def test_store_filtered_get_skips_nonmatching():
+    eng = Engine()
+    store = Store(eng)
+    store.put(("tagA", 1))
+    store.put(("tagB", 2))
+
+    def proc(eng):
+        item = yield store.get(lambda m: m[0] == "tagB")
+        return item
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == ("tagB", 2)
+    assert store.peek_all() == (("tagA", 1),)
+
+
+def test_store_filtered_get_waits_for_match():
+    eng = Engine()
+    store = Store(eng)
+
+    def proc(eng):
+        item = yield store.get(lambda m: m == "wanted")
+        return (item, eng.now)
+
+    def feeder(eng):
+        yield eng.timeout(1.0)
+        store.put("noise")
+        yield eng.timeout(1.0)
+        store.put("wanted")
+
+    p = eng.process(proc(eng))
+    eng.process(feeder(eng))
+    eng.run()
+    assert p.value == ("wanted", 2.0)
+    assert len(store) == 1  # "noise" still queued
+
+
+def test_store_two_filtered_getters_both_served():
+    eng = Engine()
+    store = Store(eng)
+    results = {}
+
+    def proc(eng, key):
+        item = yield store.get(lambda m, key=key: m[0] == key)
+        results[key] = item
+
+    eng.process(proc(eng, "a"))
+    eng.process(proc(eng, "b"))
+    store.put(("b", 1))
+    store.put(("a", 2))
+    eng.run()
+    assert results == {"a": ("a", 2), "b": ("b", 1)}
+
+
+def test_priority_store_orders_items():
+    eng = Engine()
+    ps = PriorityStore(eng)
+    for pri in (3, 1, 2):
+        ps.put((pri, f"job{pri}"))
+    got = []
+
+    def proc(eng):
+        for _ in range(3):
+            got.append((yield ps.get()))
+
+    eng.process(proc(eng))
+    eng.run()
+    assert got == [(1, "job1"), (2, "job2"), (3, "job3")]
+
+
+def test_priority_store_rejects_filter():
+    eng = Engine()
+    ps = PriorityStore(eng)
+    ps.get(lambda x: True)
+    with pytest.raises(ValueError):
+        ps.put(1)

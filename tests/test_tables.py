@@ -1,0 +1,50 @@
+"""Structured outputs of the T1-T4 table builders."""
+
+import pytest
+
+from repro.experiments.tables import (
+    TUNING_CASES,
+    run_table_t2,
+    run_table_t4,
+    table_t1_rows,
+)
+
+
+def test_t1_rows_have_all_fields():
+    rows = table_t1_rows()
+    assert len(rows) == 6  # the paper's Sec. 2 inventory (Fast Ethernet
+    # is a reference NIC, deliberately outside the T1 table)
+    for row in rows:
+        assert {"nic", "media", "driver", "price_usd", "pci", "jumbo",
+                "link_mbps"} <= set(row)
+
+
+def test_t1_prices_match_paper():
+    prices = {r["nic"]: r["price_usd"] for r in table_t1_rows()}
+    assert prices["TrendNet TEG-PCITX"] == 55
+    assert prices["SysKonnect SK-9843"] == 565
+
+
+def test_t2_latency_ordering():
+    lat = run_table_t2()
+    # The paper's latency hierarchy: VIA < GM < jumbo-DS20 < GigE PCs.
+    assert lat["MVICH / Giganet / PC"] < lat["raw GM / Myrinet / PC"]
+    assert lat["raw GM / Myrinet / PC"] < lat["raw TCP / SysKonnect jumbo / DS20"]
+    assert (
+        lat["raw TCP / SysKonnect jumbo / DS20"] < lat["raw TCP / GA620 / PC"]
+    )
+    assert lat["raw TCP / GA620 / PC"] < lat["LAM/MPI lamd / GA620 / PC"]
+
+
+def test_t3_cases_cover_every_library_family():
+    labels = " ".join(c.label for c in TUNING_CASES)
+    for needle in ("MPICH", "PVM", "LAM", "TCGMSG", "MPI/Pro", "GM", "raw TCP"):
+        assert needle in labels
+
+
+def test_t4_fractions_bounded():
+    rows = run_table_t4()
+    for r in rows:
+        frac = r["fraction_of_raw"]
+        if frac is not None:
+            assert 0.1 < frac <= 1.05, r

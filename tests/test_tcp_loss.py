@@ -1,0 +1,80 @@
+"""Packet loss and retransmission in the packet-level TCP model."""
+
+import pytest
+
+from repro.experiments import configs
+from repro.net.tcp import TcpTuning
+from repro.net.tcp_packet import PacketTcpTransfer
+from repro.sim import Engine
+from repro.units import MB, kb
+
+GA620 = configs.pc_netgear_ga620()
+TUNED = TcpTuning(sockbuf_request=kb(512))
+
+
+def run_lossy(loss, size=2 * MB, seed=1):
+    engine = Engine()
+    t = PacketTcpTransfer(engine, GA620, TUNED, loss_rate=loss, loss_seed=seed)
+    return t.run(size)
+
+
+def test_zero_loss_drops_nothing():
+    stats = run_lossy(0.0)
+    assert stats.segments_dropped == 0
+    assert stats.retransmissions == 0
+
+
+def test_loss_rate_validation():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        PacketTcpTransfer(engine, GA620, TUNED, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        PacketTcpTransfer(engine, GA620, TUNED, loss_rate=-0.1)
+
+
+def test_lossy_transfer_completes_with_all_bytes():
+    stats = run_lossy(0.02)
+    assert stats.segments_dropped > 0
+    assert stats.completion_time > 0  # terminated — every byte recovered
+
+
+def test_retransmissions_track_drops():
+    """Reno: roughly one retransmit per loss event, plus the odd RTO
+    backstop — not a retransmission storm."""
+    stats = run_lossy(0.01)
+    assert stats.retransmissions >= stats.segments_dropped
+    assert stats.retransmissions < 3 * stats.segments_dropped + 5
+
+
+def test_throughput_degrades_monotonically_with_loss():
+    rates = [run_lossy(l).throughput for l in (0.0, 0.001, 0.01, 0.05)]
+    assert rates == sorted(rates, reverse=True)
+    # Even 0.1% loss costs a measurable fraction (window halvings).
+    assert rates[1] < 0.9 * rates[0]
+    # 5% loss is catastrophic — the GA622 "poor even for raw TCP" class.
+    assert rates[3] < 0.15 * rates[0]
+
+
+def test_loss_pattern_deterministic_per_seed():
+    a = run_lossy(0.01, seed=5)
+    b = run_lossy(0.01, seed=5)
+    assert a.completion_time == b.completion_time
+    assert a.segments_dropped == b.segments_dropped
+
+
+def test_different_seeds_different_patterns():
+    a = run_lossy(0.01, seed=5)
+    b = run_lossy(0.01, seed=6)
+    assert (
+        a.completion_time != b.completion_time
+        or a.segments_dropped != b.segments_dropped
+    )
+
+
+def test_dropped_segments_do_not_inflate_goodput():
+    """Throughput counts application bytes once, however many times a
+    segment crossed the wire."""
+    stats = run_lossy(0.02)
+    assert stats.bytes_total == 2 * MB
+    wire_segments = stats.segments_sent + stats.retransmissions
+    assert wire_segments > stats.segments_sent

@@ -1,0 +1,143 @@
+"""Packet-level TCP vs the fluid model: the cross-check suite.
+
+The two models share every hardware parameter; where their
+approximations differ the tests document the expected gap:
+
+* pipeline-limited transfers (big buffers): agreement within ~2 %;
+* window-limited standard-MTU transfers: within ~15 %;
+* window-limited *jumbo* transfers: the fluid model ignores segment
+  quantisation of a 3.7-segment window, so the packet model lands
+  20-35 % lower — asserted as a band, not an equality.
+"""
+
+import pytest
+
+from repro.experiments import configs
+from repro.net.tcp import TcpModel, TcpTuning
+from repro.net.tcp_packet import PacketTcpTransfer, packet_transfer_time
+from repro.sim import Engine
+from repro.units import MB, kb, to_mbps
+
+TUNED = TcpTuning(sockbuf_request=kb(512))
+GA620 = configs.pc_netgear_ga620()
+
+
+def rate_mbps(cfg, n, tuning=None, **kw):
+    return to_mbps(n / packet_transfer_time(cfg, n, tuning, **kw))
+
+
+# -- agreement with the fluid model ------------------------------------------------
+def test_matches_fluid_at_plateau_ga620():
+    fluid = TcpModel(GA620, TUNED)
+    n = 4 * MB
+    packet = packet_transfer_time(GA620, n, TUNED)
+    assert packet == pytest.approx(fluid.transfer_time(n), rel=0.02)
+
+
+def test_matches_fluid_small_messages():
+    fluid = TcpModel(GA620, TUNED)
+    for n in (1448, kb(4), kb(16)):
+        packet = packet_transfer_time(GA620, n, TUNED)
+        assert packet == pytest.approx(fluid.transfer_time(n), rel=0.1), n
+
+
+def test_matches_fluid_window_limited_standard_mtu():
+    cfg = configs.pc_trendnet(tuned=False)
+    fluid = TcpModel(cfg)
+    n = 4 * MB
+    packet = packet_transfer_time(cfg, n)
+    assert packet == pytest.approx(fluid.transfer_time(n), rel=0.15)
+
+
+def test_jumbo_window_quantisation_documented_gap():
+    """3.7 segments of window: the packet model sees the quantisation
+    the fluid model smooths over.  Packet lands below fluid, but well
+    above half."""
+    cfg = configs.ds20_syskonnect_jumbo()
+    tuning = TcpTuning(sockbuf_request=kb(32))
+    n = 4 * MB
+    packet = to_mbps(n / packet_transfer_time(cfg, n, tuning))
+    fluid = to_mbps(n / TcpModel(cfg, tuning).transfer_time(n))
+    assert 0.6 * fluid < packet < fluid
+
+
+def test_plateau_900_on_ds20_jumbo_tuned():
+    cfg = configs.ds20_syskonnect_jumbo()
+    assert rate_mbps(cfg, 4 * MB, TUNED) == pytest.approx(900, rel=0.03)
+
+
+# -- mechanics ----------------------------------------------------------------------
+def test_segment_count():
+    engine = Engine()
+    t = PacketTcpTransfer(engine, GA620, TUNED)
+    stats = t.run(1 * MB)
+    assert stats.segments_sent == -(-1048576 // t.mss)
+
+
+def test_acks_are_cumulative_and_fewer_than_segments():
+    engine = Engine()
+    t = PacketTcpTransfer(engine, GA620, TUNED)
+    stats = t.run(1 * MB)
+    assert 0 < stats.acks_sent <= stats.segments_sent
+
+
+def test_sender_stalls_only_when_window_limited():
+    engine = Engine()
+    big = PacketTcpTransfer(engine, GA620, TUNED)
+    s1 = big.run(kb(256))
+    engine2 = Engine()
+    small = PacketTcpTransfer(
+        engine2, GA620, TcpTuning(sockbuf_request=kb(16), progress_stall=2e-3)
+    )
+    s2 = small.run(kb(256))
+    assert s1.sender_stall_time < 1e-9
+    assert s2.sender_stall_time > 0
+
+
+def test_bigger_buffers_never_slower_packet_level():
+    cfg = configs.pc_trendnet()
+    slow = packet_transfer_time(cfg, 1 * MB, TcpTuning(sockbuf_request=kb(16)))
+    fast = packet_transfer_time(cfg, 1 * MB, TcpTuning(sockbuf_request=kb(256)))
+    assert fast <= slow
+
+
+def test_throughput_stat():
+    engine = Engine()
+    t = PacketTcpTransfer(engine, GA620, TUNED)
+    stats = t.run(1 * MB)
+    assert stats.throughput == pytest.approx(1048576 / stats.completion_time)
+
+
+def test_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        packet_transfer_time(GA620, 0)
+
+
+# -- slow start ------------------------------------------------------------------------
+def test_cold_start_costs_extra():
+    warm = packet_transfer_time(GA620, 1 * MB, TUNED)
+    cold = packet_transfer_time(GA620, 1 * MB, TUNED, cold_start=True)
+    assert cold > 1.05 * warm
+
+
+def test_cold_start_penalty_fades_for_large_messages():
+    def penalty(n):
+        warm = packet_transfer_time(GA620, n, TUNED)
+        cold = packet_transfer_time(GA620, n, TUNED, cold_start=True)
+        return cold / warm
+
+    assert penalty(8 * MB) < penalty(256 * 1024)
+
+
+def test_cold_start_window_grows_to_sockbuf():
+    engine = Engine()
+    t = PacketTcpTransfer(engine, GA620, TUNED, cold_start=True)
+    assert t.cwnd == 2 * t.mss
+    t.run(4 * MB)
+    assert t.cwnd == t.sockbuf
+
+
+def test_deterministic():
+    a = packet_transfer_time(GA620, 1 * MB, TUNED)
+    b = packet_transfer_time(GA620, 1 * MB, TUNED)
+    assert a == b

@@ -1,0 +1,140 @@
+"""Two-tier switch topology: oversubscription effects."""
+
+import pytest
+
+from repro.apps.bisection import run_bisection
+from repro.experiments import configs
+from repro.fabric import Fabric, TwoTierTree
+from repro.fabric.topology import Crossbar, TopologyPorts
+from repro.mplib import MpLite, RawTcp
+from repro.sim import Engine
+from repro.units import MB, us
+
+
+def make_fabric(nranks, topology=None):
+    engine = Engine()
+    link = RawTcp().link_model(configs.pc_netgear_ga620())
+    return engine, Fabric(engine, link, nranks, topology=topology), link
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        TwoTierTree(leaf_size=0)
+    with pytest.raises(ValueError):
+        TwoTierTree(uplink_capacity=0)
+    with pytest.raises(ValueError):
+        TwoTierTree(uplink_latency=-1)
+
+
+def test_leaf_assignment():
+    t = TwoTierTree(leaf_size=4)
+    assert [t.leaf_of(r) for r in (0, 3, 4, 7, 8)] == [0, 0, 1, 1, 2]
+
+
+def test_crossing_detection():
+    engine = Engine()
+    ports = TopologyPorts(engine, TwoTierTree(leaf_size=4), nranks=8)
+    assert ports.crossing(0, 3) is None  # same leaf
+    assert ports.crossing(0, 4) is not None  # leaf 0 -> leaf 1
+
+
+def test_intra_leaf_traffic_unaffected():
+    engine, fabric, link = make_fabric(8, TwoTierTree(leaf_size=4))
+    got = {}
+
+    def sender():
+        yield from fabric.send(0, 1, 1 * MB)
+
+    def receiver():
+        yield from fabric.recv(1)
+        got["at"] = engine.now
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert got["at"] == pytest.approx(link.transfer_time(1 * MB))
+
+
+def test_inter_leaf_adds_uplink_latency():
+    topo = TwoTierTree(leaf_size=4, uplink_latency=us(10))
+    engine, fabric, link = make_fabric(8, topo)
+    got = {}
+
+    def sender():
+        yield from fabric.send(0, 4, 1 * MB)
+
+    def receiver():
+        yield from fabric.recv(4)
+        got["at"] = engine.now
+
+    engine.process(sender())
+    engine.process(receiver())
+    engine.run()
+    assert got["at"] == pytest.approx(link.transfer_time(1 * MB) + 2 * us(10))
+
+
+def test_oversubscribed_uplink_serialises_inter_leaf_pairs():
+    """Two leaf-0 senders to leaf 1 share the single uplink."""
+    engine, fabric, link = make_fabric(8, TwoTierTree(leaf_size=4, uplink_capacity=1))
+    arrivals = {}
+
+    def sender(src, dst):
+        yield from fabric.send(src, dst, 1 * MB)
+
+    def receiver(dst):
+        yield from fabric.recv(dst)
+        arrivals[dst] = engine.now
+
+    engine.process(sender(0, 4))
+    engine.process(sender(1, 5))
+    engine.process(receiver(4))
+    engine.process(receiver(5))
+    engine.run()
+    first, second = sorted(arrivals.values())
+    assert second >= first + link.occupancy(1 * MB) * 0.99
+
+
+def test_full_uplink_capacity_restores_parallelism():
+    engine, fabric, link = make_fabric(8, TwoTierTree(leaf_size=4, uplink_capacity=4))
+    arrivals = {}
+
+    def sender(src, dst):
+        yield from fabric.send(src, dst, 1 * MB)
+
+    def receiver(dst):
+        yield from fabric.recv(dst)
+        arrivals[dst] = engine.now
+
+    engine.process(sender(0, 4))
+    engine.process(sender(1, 5))
+    engine.process(receiver(4))
+    engine.process(receiver(5))
+    engine.run()
+    for t in arrivals.values():
+        assert t == pytest.approx(link.transfer_time(1 * MB), rel=0.01)
+
+
+def test_bisection_collapses_under_oversubscription():
+    """The cascaded-switch cluster: 8 ranks over two 4-port leaves with
+    one uplink — bisection throughput drops toward one pair's worth."""
+    from repro.cluster.communicator import build_world, run_ranks
+
+    def measure(topology):
+        def program(comm):
+            partner = (comm.rank + 4) % 8
+            yield from comm.barrier()
+            t0 = comm.engine.now
+            yield from comm.sendrecv(partner, 1 * MB, partner, 1 * MB)
+            return comm.engine.now - t0
+
+        engine = Engine()
+        comms = build_world(
+            engine, MpLite(), configs.pc_netgear_ga620(), 8, topology=topology
+        )
+        return max(run_ranks(engine, comms, program))
+
+    crossbar_time = measure(None)
+    oversub_time = measure(TwoTierTree(leaf_size=4, uplink_capacity=1))
+    # All four pairs cross the bisection: with one uplink each way they
+    # serialise ~4x.
+    assert oversub_time > 3.0 * crossbar_time

@@ -1,0 +1,111 @@
+"""Execution tracing and the ASCII timeline."""
+
+import pytest
+
+from repro.cluster import Tracer, build_world, run_ranks
+from repro.cluster.trace import TraceEvent
+from repro.experiments import configs
+from repro.mplib import Mpich, MpLite
+from repro.sim import Engine
+from repro.units import kb
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def traced_run(library, program, nranks=2):
+    tracer = Tracer()
+    engine = Engine()
+    comms = build_world(engine, library, GA620, nranks, tracer=tracer)
+    run_ranks(engine, comms, program)
+    return tracer
+
+
+def pingpong(comm):
+    if comm.rank == 0:
+        yield from comm.send(1, kb(64))
+        yield from comm.recv(1, kb(64))
+    else:
+        yield from comm.recv(0, kb(64))
+        yield from comm.send(0, kb(64))
+
+
+def test_events_recorded_for_both_ranks():
+    tracer = traced_run(MpLite(), pingpong)
+    assert {e.rank for e in tracer.events} == {0, 1}
+    kinds = {e.kind for e in tracer.events}
+    assert "send" in kinds and "recv" in kinds
+
+
+def test_event_details_name_peer_and_size():
+    tracer = traced_run(MpLite(), pingpong)
+    sends = [e for e in tracer.events if e.kind == "send" and e.rank == 0]
+    assert sends and "->1" in sends[0].detail and "65536B" in sends[0].detail
+
+
+def test_intervals_are_ordered_and_positive():
+    tracer = traced_run(MpLite(), pingpong)
+    for e in tracer.events:
+        assert e.t1 >= e.t0 >= 0.0
+    t0, t1 = tracer.span()
+    assert t1 > t0 == 0.0
+
+
+def test_time_by_kind_accounts_compute():
+    def program(comm):
+        yield from comm.compute(3e-3)
+        yield from comm.barrier()
+
+    tracer = traced_run(MpLite(), program)
+    by_kind = tracer.time_by_kind(0)
+    assert by_kind["compute"] == pytest.approx(3e-3)
+    assert "collective" in by_kind
+
+
+def test_overlap_visible_in_wait_time():
+    """The trace quantifies the paper's overlap story: the blocking
+    library waits far longer after the same compute."""
+
+    def program(comm):
+        peer = 1 - comm.rank
+        req = comm.isend(peer, kb(512)) if comm.rank == 0 else comm.irecv(peer, kb(512))
+        yield from comm.compute(5e-3)
+        yield from comm.wait(req)
+
+    lite = traced_run(MpLite(), program).time_by_kind(0).get("wait", 0.0)
+    p4 = traced_run(Mpich.tuned(), program).time_by_kind(0).get("wait", 0.0)
+    assert p4 > 2 * lite
+
+
+def test_timeline_renders_lanes():
+    tracer = traced_run(MpLite(), pingpong)
+    art = tracer.render_timeline(width=40)
+    assert "rank  0 |" in art and "rank  1 |" in art
+    assert "legend" in art
+    lanes = [l for l in art.splitlines() if l.startswith("rank")]
+    assert all(len(l) == len(lanes[0]) for l in lanes)
+
+
+def test_timeline_empty_trace():
+    assert Tracer().render_timeline() == "(empty trace)"
+
+
+def test_tracer_validates_kinds_and_intervals():
+    t = Tracer()
+    with pytest.raises(ValueError):
+        t.record(0, "nonsense", "", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        t.record(0, "send", "", 2.0, 1.0)
+    with pytest.raises(ValueError):
+        Tracer().span()
+
+
+def test_trace_event_duration():
+    e = TraceEvent(rank=0, kind="send", detail="", t0=1.0, t1=3.5)
+    assert e.duration == pytest.approx(2.5)
+
+
+def test_untraced_run_records_nothing():
+    engine = Engine()
+    comms = build_world(engine, MpLite(), GA620, 2)
+    run_ranks(engine, comms, pingpong)
+    assert all(c.tracer is None for c in comms)

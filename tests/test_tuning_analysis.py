@@ -1,0 +1,152 @@
+"""Tuning framework and analysis utilities."""
+
+import pytest
+
+from repro.analysis import crossover_size, fraction_of_raw, ranking, saturation_size
+from repro.core import run_netpipe
+from repro.core.runner import run_many
+from repro.experiments import configs
+from repro.mplib import Mpich, MpichParams, MpLite, RawGm, RawTcp
+from repro.tuning import (
+    Mechanism,
+    PARAM_REGISTRY,
+    autotune_sockbuf,
+    format_registry,
+    params_for,
+    sweep_parameter,
+)
+from repro.units import kb
+
+GA620 = configs.pc_netgear_ga620()
+TRENDNET = configs.pc_trendnet()
+
+
+# -- params registry --------------------------------------------------------------
+def test_registry_covers_all_libraries():
+    libs = {p.library for p in PARAM_REGISTRY}
+    for needed in ("MPICH", "LAM/MPI", "MPI/Pro", "MP_Lite", "PVM", "TCGMSG",
+                   "GM", "MVICH", "OS"):
+        assert needed in libs
+
+
+def test_params_for_case_insensitive():
+    assert params_for("mpich") == params_for("MPICH")
+    assert len(params_for("MPICH")) == 3
+
+
+def test_source_constants_are_not_user_tunable():
+    """The paper's complaint: key knobs need recompiles."""
+    tcgmsg = params_for("TCGMSG")[0]
+    assert tcgmsg.mechanism is Mechanism.SOURCE
+    assert not tcgmsg.user_tunable
+    lam_buf = [p for p in params_for("LAM/MPI") if "buffer" in p.name][0]
+    assert not lam_buf.user_tunable
+
+
+def test_format_registry_renders():
+    text = format_registry()
+    assert "P4_SOCKBUFSIZE" in text and "SR_SOCK_BUF_SIZE" in text
+
+
+# -- sweeps -------------------------------------------------------------------------
+def test_sweep_parameter_orders_points():
+    points = sweep_parameter(
+        lambda b: RawTcp(sockbuf=b), [kb(16), kb(64), kb(256)], TRENDNET
+    )
+    assert [p.value for p in points] == [kb(16), kb(64), kb(256)]
+    metrics = [p.metric for p in points]
+    assert metrics == sorted(metrics)  # bigger buffers never slower
+
+
+def test_sweep_parameter_rejects_empty():
+    with pytest.raises(ValueError):
+        sweep_parameter(lambda b: RawTcp(sockbuf=b), [], TRENDNET)
+
+
+def test_autotune_finds_trendnet_knee():
+    outcome = autotune_sockbuf(lambda b: RawTcp(sockbuf=b), TRENDNET)
+    # The TrendNet needs ~128-256 KB to saturate its 550 Mb/s pipeline.
+    assert kb(32) < outcome.best_value <= kb(512)
+    assert outcome.best_metric == pytest.approx(550, rel=0.06)
+    assert outcome.improvement > 2.0
+
+
+def test_autotune_ga620_is_happy_early():
+    outcome = autotune_sockbuf(lambda b: RawTcp(sockbuf=b), GA620)
+    # The AceNIC saturates with small buffers: the knee is early.
+    assert outcome.best_value <= kb(64)
+
+
+def test_autotune_mpich_reproduces_5x():
+    outcome = autotune_sockbuf(
+        lambda b: Mpich(MpichParams(p4_sockbufsize=b)), GA620, start=kb(32)
+    )
+    assert outcome.improvement > 4.0
+
+
+def test_autotune_validation():
+    with pytest.raises(ValueError):
+        autotune_sockbuf(lambda b: RawTcp(sockbuf=b), GA620, start=0)
+
+
+def test_latency_metric_is_negated():
+    points = sweep_parameter(
+        lambda b: RawTcp(sockbuf=b), [kb(32)], GA620, metric="latency_us"
+    )
+    assert points[0].metric < 0  # larger-is-better convention
+
+
+# -- analysis ------------------------------------------------------------------------
+def test_fraction_of_raw():
+    results = run_many([RawTcp(), Mpich.tuned(), MpLite()], GA620)
+    fracs = fraction_of_raw(results, "raw TCP")
+    assert "raw TCP" not in fracs
+    assert fracs["MP_Lite"] > 0.97
+    assert 0.65 < fracs["MPICH"] < 0.80
+
+
+def test_fraction_of_raw_missing_label():
+    results = run_many([MpLite()], GA620)
+    with pytest.raises(KeyError):
+        fraction_of_raw(results, "raw TCP")
+
+
+def test_ranking_by_peak_and_at_size():
+    results = run_many([RawTcp(), Mpich.tuned(), MpLite()], GA620)
+    assert ranking(results)[-1] == "MPICH"
+    assert ranking(results, size=1024)[0] in {"raw TCP", "MP_Lite"}
+
+
+def test_crossover_gm_beats_tcp_everywhere():
+    """GM has both lower latency and higher bandwidth than GigE TCP, so
+    the crossover is at the smallest size."""
+    gm = run_netpipe(RawGm(), configs.pc_myrinet())
+    tcp = run_netpipe(RawTcp(), GA620)
+    assert crossover_size(gm, tcp) == gm.points[0].size
+
+
+def test_crossover_none_when_never_faster():
+    tcp = run_netpipe(RawTcp(), GA620)
+    mpich = run_netpipe(Mpich.tuned(), GA620)
+    assert crossover_size(mpich, tcp) is None
+
+
+def test_crossover_requires_same_schedule():
+    a = run_netpipe(RawTcp(), GA620, sizes=[1, 1024])
+    b = run_netpipe(RawTcp(), GA620, sizes=[1, 2048])
+    with pytest.raises(ValueError):
+        crossover_size(a, b)
+
+
+def test_saturation_size_orders_by_latency():
+    """The 16 us GM transport saturates at smaller messages than the
+    120 us TCP path."""
+    gm = run_netpipe(RawGm(), configs.pc_myrinet())
+    tcp = run_netpipe(RawTcp(), GA620)
+    assert saturation_size(gm) < saturation_size(tcp)
+
+
+def test_saturation_size_validation():
+    tcp = run_netpipe(RawTcp(), GA620)
+    with pytest.raises(ValueError):
+        saturation_size(tcp, fraction=1.5)

@@ -1,0 +1,35 @@
+"""Unit-conversion helpers: the only place Mbps/us appear."""
+
+import pytest
+
+from repro.units import BITS_PER_BYTE, KB, MB, kb, mbps, mbytes_per_s, to_mbps, to_us, us
+
+
+def test_us_roundtrip():
+    assert to_us(us(123.0)) == pytest.approx(123.0)
+
+
+def test_us_is_seconds():
+    assert us(1_000_000) == pytest.approx(1.0)
+
+
+def test_mbps_roundtrip():
+    assert to_mbps(mbps(550.0)) == pytest.approx(550.0)
+
+
+def test_mbps_is_decimal_megabits():
+    # 1000 Mb/s = 125 MB/s
+    assert mbps(1000) == pytest.approx(125e6)
+
+
+def test_mbytes_per_s():
+    assert mbytes_per_s(200) == pytest.approx(200e6)
+
+
+def test_kb_is_binary():
+    assert kb(32) == 32 * 1024
+    assert KB == 1024 and MB == 1024 * 1024
+
+
+def test_bits_per_byte():
+    assert BITS_PER_BYTE == 8
