@@ -8,9 +8,32 @@ same rows/series the paper reports, and asserts the anchors from
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import pytest
 
-from repro.experiments.harness import AuditRow
+from repro.exec import SweepCache
+from repro.experiments.harness import AuditRow, Experiment
+
+
+def run_figure(
+    fig: Experiment,
+    sizes: Sequence[int] | None = None,
+    repeats: int = 1,
+    max_workers: int | None = None,
+    cache: SweepCache | None = None,
+):
+    """Run one figure through the :mod:`repro.exec` executor.
+
+    Prints the executor's provenance report (which curves simulated,
+    which came from cache, per-sweep timing and event counts) so a
+    bench log shows where the time went, then returns the curves.
+    """
+    results, exec_report = fig.run_with_report(
+        sizes=sizes, repeats=repeats, max_workers=max_workers, cache=cache
+    )
+    print(exec_report.render())
+    return results
 
 
 def report(title: str, body: str) -> None:

@@ -1,0 +1,78 @@
+"""Bench: executor modes — cold serial vs parallel vs warm cache.
+
+Times the same multi-curve figure (all of figure 1, full NetPIPE
+schedule) through the three :mod:`repro.exec` paths and prints the
+speedups.  The acceptance bar is the cache: a warm-cache replay does
+zero simulation and must come back at least 5x faster than the cold
+serial run.  (Parallel numbers are reported but not asserted — this
+container may have a single core, where pool overhead dominates.)
+"""
+
+import os
+import time
+
+from conftest import report
+
+from repro.exec import SweepCache, execute_sweeps
+from repro.experiments.figures import FIG1
+
+
+def _time(fn, repeat: int = 3) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _curves(results):
+    return [[(p.size, p.oneway_time) for p in r.points] for r in results]
+
+
+def test_bench_executor_modes(tmp_path):
+    requests = FIG1.sweep_requests()
+    cache = SweepCache(tmp_path / "sweeps")
+
+    # Cold serial: every curve simulated in-process, cache being filled.
+    t_cold, (cold, cold_report) = _time(
+        lambda: execute_sweeps(requests, max_workers=1, cache=cache), repeat=1
+    )
+    assert cold_report.sweeps_simulated == len(requests)
+
+    # Parallel, no cache: same curves fanned across a process pool.
+    workers = min(4, max(2, os.cpu_count() or 1))
+    t_par, (par, par_report) = _time(
+        lambda: execute_sweeps(requests, max_workers=workers), repeat=1
+    )
+    assert par_report.sweeps_simulated == len(requests)
+    assert _curves(par) == _curves(cold)  # bit-identical across the pool
+
+    # Warm cache: zero simulation, pure JSON replay.
+    t_warm, (warm, warm_report) = _time(
+        lambda: execute_sweeps(requests, max_workers=1, cache=cache)
+    )
+    assert warm_report.sweeps_simulated == 0
+    assert warm_report.events_processed == 0
+    assert _curves(warm) == _curves(cold)  # bit-identical from disk
+
+    body = "\n".join(
+        [
+            f"{len(requests)} sweeps, {cold_report.events_processed} engine "
+            f"events, {sum(len(r.points) for r in cold)} points",
+            f"  cold serial         {t_cold * 1e3:8.1f} ms   1.00x",
+            f"  parallel x{workers}          {t_par * 1e3:8.1f} ms "
+            f"  {t_cold / t_par:.2f}x",
+            f"  warm cache          {t_warm * 1e3:8.1f} ms "
+            f"  {t_cold / t_warm:.2f}x",
+        ]
+    )
+    report("Executor micro-benchmark — figure 1", body)
+
+    assert t_warm * 5 <= t_cold, (
+        f"warm-cache replay only {t_cold / t_warm:.1f}x faster than cold "
+        f"serial (need >= 5x): cold {t_cold * 1e3:.1f} ms, "
+        f"warm {t_warm * 1e3:.1f} ms"
+    )

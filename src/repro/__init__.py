@@ -16,6 +16,7 @@ Package map:
 * :mod:`repro.net`     — TCP, GM and VIA transport models
 * :mod:`repro.mplib`   — the message-passing library protocol models
 * :mod:`repro.core`    — NetPIPE (sizes, ping-pong, results, reports)
+* :mod:`repro.exec`    — parallel sweep executor + content-addressed cache
 * :mod:`repro.tuning`  — parameter sweeps and the auto-tuner
 * :mod:`repro.analysis`— curve comparison utilities
 * :mod:`repro.experiments` — one module per paper figure/table
@@ -24,15 +25,19 @@ Package map:
 """
 
 from repro.core import run_netpipe, netpipe_sizes, NetPipeResult, NetPipePoint
+from repro.exec import SweepCache, SweepRequest, execute_sweeps
 from repro.mplib import get_library, library_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "run_netpipe",
     "netpipe_sizes",
     "NetPipeResult",
     "NetPipePoint",
+    "SweepCache",
+    "SweepRequest",
+    "execute_sweeps",
     "get_library",
     "library_names",
     "__version__",

@@ -19,18 +19,30 @@ import argparse
 import sys
 
 
+def _sweep_cache(args: argparse.Namespace):
+    """The --cache directory as a SweepCache (or None)."""
+    from repro.exec import SweepCache
+
+    return SweepCache(args.cache) if getattr(args, "cache", None) else None
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Run figures (all or one) and audit their anchors."""
     from repro.core.report import format_comparison
     from repro.experiments import ALL_FIGURES
 
+    cache = _sweep_cache(args)
     status = 0
     for fig in ALL_FIGURES:
         if args.figure and fig.id != args.figure:
             continue
         print(f"\n{'=' * 78}\n{fig.title}\n{'=' * 78}")
-        results = fig.run()
+        results, exec_report = fig.run_with_report(
+            max_workers=args.workers, cache=cache
+        )
         print(format_comparison(results))
+        print()
+        print(exec_report.render())
         print()
         for row in fig.audit(results):
             print(" ", row.render())
@@ -135,9 +147,12 @@ def cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_FIGURES
 
     os.makedirs(args.directory, exist_ok=True)
+    cache = _sweep_cache(args)
     count = 0
     for fig in ALL_FIGURES:
-        for label, result in fig.run().items():
+        for label, result in fig.run(
+            max_workers=args.workers, cache=cache
+        ).items():
             slug = label.lower().replace("/", "-").replace(" ", "")
             base = os.path.join(args.directory, f"{fig.id}.{slug}")
             save_netpipe_out(result, base + ".np.out")
@@ -170,11 +185,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_exec_options(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="sweep processes (default $REPRO_EXEC_WORKERS or 1)",
+        )
+        sp.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help="sweep-cache directory (default $REPRO_SWEEP_CACHE)",
+        )
+
     p = sub.add_parser("figures", help="run all figures with anchor audits")
+    add_exec_options(p)
     p.set_defaults(func=cmd_figures, figure=None)
 
     p = sub.add_parser("figure", help="run one figure")
     p.add_argument("figure", choices=["fig1", "fig2", "fig3", "fig4", "fig5"])
+    add_exec_options(p)
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("tables", help="print tables T1-T4")
@@ -197,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("export", help="write np.out/json files per figure")
     p.add_argument("directory", nargs="?", default="curves")
+    add_exec_options(p)
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("loopback", help="live loopback NetPIPE")

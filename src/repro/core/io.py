@@ -10,6 +10,7 @@ network.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping
@@ -52,8 +53,17 @@ def result_from_dict(data: Mapping) -> NetPipeResult:
 
 
 def save_result(result: NetPipeResult, path: str | Path) -> None:
-    """Write one curve as JSON."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+    """Write one curve as JSON, atomically.
+
+    The document lands via tmp file + ``os.replace`` in the target
+    directory, so an interrupted run can never leave a truncated
+    baseline (or sweep-cache entry) behind: readers see either the old
+    complete file or the new complete file, never a partial one.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    tmp.write_text(json.dumps(result_to_dict(result), indent=2))
+    os.replace(tmp, path)
 
 
 def load_result(path: str | Path) -> NetPipeResult:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pingpong import measure_sweep
 from repro.core.results import NetPipePoint, NetPipeResult
@@ -10,6 +10,9 @@ from repro.core.sizes import netpipe_sizes
 from repro.hw.cluster import ClusterConfig
 from repro.mplib.base import MPLibrary
 from repro.sim import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.exec.cache import SweepCache
 
 
 def run_netpipe(
@@ -40,16 +43,35 @@ def run_many(
     libraries: Sequence[MPLibrary],
     config: ClusterConfig,
     sizes: Sequence[int] | None = None,
+    repeats: int = 1,
+    max_workers: int | None = None,
+    cache: "SweepCache | None" = None,
 ) -> dict[str, NetPipeResult]:
     """Sweep several libraries over the same configuration.
 
     Returns ``{display_name: result}`` preserving input order (dicts
     are ordered), which is how the figure reproductions are built.
+    Each library's sweep is independent, so the work is fanned across
+    the :mod:`repro.exec` process pool when ``max_workers`` (or
+    ``$REPRO_EXEC_WORKERS``) exceeds 1, and repeated sweeps are served
+    from ``cache`` (or ``$REPRO_SWEEP_CACHE``) without simulating.
     """
-    out: dict[str, NetPipeResult] = {}
+    from repro.exec.scheduler import SweepRequest, execute_sweeps
+
+    requests = []
     for lib in libraries:
-        result = run_netpipe(lib, config, sizes=sizes)
-        if lib.display_name in out:
+        if any(r.label == lib.display_name for r in requests):
             raise ValueError(f"duplicate library label {lib.display_name!r}")
-        out[lib.display_name] = result
-    return out
+        requests.append(
+            SweepRequest(
+                label=lib.display_name,
+                library=lib,
+                config=config,
+                sizes=None if sizes is None else tuple(sizes),
+                repeats=repeats,
+            )
+        )
+    results, _report = execute_sweeps(
+        requests, max_workers=max_workers, cache=cache
+    )
+    return {req.label: result for req, result in zip(requests, results)}

@@ -1,0 +1,38 @@
+"""Parallel sweep execution with a content-addressed result cache.
+
+The executor layer the experiment harness runs on::
+
+    from repro.exec import SweepRequest, SweepCache, execute_sweeps
+
+    requests = [SweepRequest("mpich", Mpich.tuned(), cfg)]
+    results, report = execute_sweeps(
+        requests, max_workers=4, cache=SweepCache("~/.cache/repro")
+    )
+
+See docs/PERFORMANCE.md for the cache layout and invalidation rules.
+"""
+
+from repro.exec.cache import CACHE_DIR_ENV, SweepCache
+from repro.exec.fingerprint import CODE_SALT, canonicalize, sweep_fingerprint
+from repro.exec.scheduler import (
+    WORKERS_ENV,
+    RunReport,
+    SweepRequest,
+    SweepStats,
+    default_workers,
+    execute_sweeps,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CODE_SALT",
+    "RunReport",
+    "SweepCache",
+    "SweepRequest",
+    "SweepStats",
+    "WORKERS_ENV",
+    "canonicalize",
+    "default_workers",
+    "execute_sweeps",
+    "sweep_fingerprint",
+]

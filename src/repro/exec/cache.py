@@ -1,0 +1,114 @@
+"""Content-addressed on-disk cache for NetPIPE sweep results.
+
+Layout: ``<root>/<aa>/<fingerprint>.json`` where ``aa`` is the first
+two hex digits of the fingerprint (a fan-out so no single directory
+grows unbounded).  Entries are the same JSON documents
+:mod:`repro.core.io` writes for baselines, so a cache entry can be
+inspected — or diffed against a live run — with the ordinary tooling.
+
+Semantics:
+
+* **hit** — the file exists and parses; the stored curve is returned
+  bit-identical to what the simulation produced (JSON round-trips the
+  float times exactly via ``repr``).
+* **miss** — no file, *or* a file that fails to parse/validate.  A
+  corrupt entry (truncated write, stray edit) is silently treated as a
+  miss and overwritten by the next :meth:`SweepCache.put`; writes are
+  atomic (tmp + ``os.replace``) so the cache itself can never create
+  one.
+* **invalidation** — content-addressed means there is no staleness to
+  track: any change to the library parameters, cluster config, size
+  schedule, repeats, or the code salt produces a different fingerprint
+  and therefore a cold entry.  ``invalidate``/``clear`` exist for
+  explicit housekeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.io import result_from_dict, save_result
+from repro.core.results import NetPipeResult
+
+#: Environment variable naming a default cache directory.  When set,
+#: the experiment harness caches sweeps there without code changes.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+
+class SweepCache:
+    """A directory of fingerprint-addressed NetPIPE curves."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    @classmethod
+    def from_env(cls) -> "SweepCache | None":
+        """Cache at ``$REPRO_SWEEP_CACHE``, or None when unset/empty."""
+        root = os.environ.get(CACHE_DIR_ENV, "").strip()
+        return cls(root) if root else None
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where a given fingerprint lives (whether or not it exists)."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> NetPipeResult | None:
+        """The cached curve, or None on miss (including corrupt files)."""
+        path = self.path_for(fingerprint)
+        try:
+            data = json.loads(path.read_text())
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Truncated or hand-mangled entry: a miss, not an error.
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: NetPipeResult) -> Path:
+        """Store a curve; concurrent writers are safe.
+
+        :func:`repro.core.io.save_result` writes atomically (tmp +
+        ``os.replace`` in the destination directory, tmp named by pid),
+        so parallel workers racing on the same fingerprint both land a
+        complete file and last-write-wins — which is harmless, as both
+        wrote the identical curve.
+        """
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_result(result, path)
+        return path
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; True if it existed."""
+        try:
+            self.path_for(fingerprint).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SweepCache {self.root} hits={self.hits} "
+            f"misses={self.misses} corrupt={self.corrupt}>"
+        )

@@ -1,0 +1,127 @@
+"""Stable content fingerprints for sweep requests.
+
+A sweep is fully determined by (library, cluster config, size schedule,
+repeats) — the simulator is bit-for-bit deterministic, so two requests
+with the same fingerprint produce the same curve.  The fingerprint is a
+SHA-256 over a *canonical* textual form of the request, built by walking
+dataclasses, enums and plain objects recursively.  It is independent of
+``PYTHONHASHSEED``, process, and platform, which is what lets the
+on-disk cache in :mod:`repro.exec.cache` be shared between runs.
+
+A code-version salt (:data:`CODE_SALT`) is folded into every digest.
+Bump it whenever the simulation's numeric behaviour changes — every
+previously cached curve then misses, which is the cache's invalidation
+story (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import types
+from typing import Any, Sequence
+
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+
+#: Folded into every fingerprint.  Bump the trailing integer whenever a
+#: model change alters simulated timings, so stale cache entries miss.
+CODE_SALT = "repro-sweep-v1"
+
+#: Types emitted verbatim (via repr) into the canonical form.
+_ATOMS = (int, float, bool, str, bytes, type(None))
+
+
+def canonicalize(obj: Any) -> str:
+    """Deterministic textual form of ``obj`` for hashing.
+
+    Handles atoms, sequences, mappings, enums, dataclasses, and plain
+    objects (``__dict__`` or ``__slots__``), always tagging composite
+    values with their class' qualified name so two different library
+    models with identical parameters never collide.  Raises
+    ``TypeError`` for values with no stable representation (lambdas,
+    open files, ...) rather than hashing something unstable.
+    """
+    if isinstance(obj, _ATOMS):
+        return repr(obj)
+    if isinstance(
+        obj,
+        (type, types.FunctionType, types.MethodType, types.BuiltinFunctionType),
+    ):
+        # A function's identity is its code, which the walk can't see;
+        # hashing its (empty) __dict__ would make all lambdas collide.
+        raise TypeError(
+            f"cannot canonicalize {obj!r} for fingerprinting: functions and "
+            "classes have no stable content representation"
+        )
+    if isinstance(obj, enum.Enum):
+        return f"E({type(obj).__qualname__}.{obj.name})"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={canonicalize(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"D({type(obj).__qualname__}:{fields})"
+    if isinstance(obj, (list, tuple)):
+        return f"L[{','.join(canonicalize(v) for v in obj)}]"
+    if isinstance(obj, (set, frozenset)):
+        return f"S[{','.join(sorted(canonicalize(v) for v in obj))}]"
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonicalize(k), canonicalize(v)) for k, v in obj.items()
+        )
+        return f"M[{','.join(f'{k}:{v}' for k, v in items)}]"
+    state = _object_state(obj)
+    if state is not None:
+        fields = ",".join(f"{k}={canonicalize(v)}" for k, v in state)
+        return f"O({type(obj).__qualname__}:{fields})"
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__qualname__!r} for fingerprinting"
+    )
+
+
+def _object_state(obj: Any) -> list[tuple[str, Any]] | None:
+    """Sorted (name, value) pairs from ``__dict__`` and/or ``__slots__``."""
+    found: dict[str, Any] = {}
+    if hasattr(obj, "__dict__"):
+        found.update(obj.__dict__)
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if hasattr(obj, name):
+                found.setdefault(name, getattr(obj, name))
+    if not found and not hasattr(obj, "__dict__"):
+        return None
+    return sorted(found.items())
+
+
+def sweep_fingerprint(
+    library: MPLibrary,
+    config: ClusterConfig,
+    sizes: Sequence[int] | None,
+    repeats: int = 1,
+    salt: str = "",
+) -> str:
+    """Hex digest identifying one sweep's full input state.
+
+    ``sizes=None`` (the default NetPIPE schedule) is expanded before
+    hashing, so a request that spells the default schedule out and one
+    that relies on the default share a cache entry — and a change to
+    the default schedule invalidates previously cached sweeps.
+    """
+    if sizes is None:
+        from repro.core.sizes import netpipe_sizes
+
+        sizes = netpipe_sizes()
+    sizes_part = canonicalize(list(sizes))
+    payload = "|".join(
+        (
+            CODE_SALT,
+            salt,
+            canonicalize(library),
+            canonicalize(config),
+            sizes_part,
+            repr(int(repeats)),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

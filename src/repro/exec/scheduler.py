@@ -1,0 +1,222 @@
+"""Parallel sweep executor: fan independent sweeps across cores.
+
+Every curve of every figure is an independent simulation — each sweep
+builds its own fresh :class:`~repro.sim.Engine` — so a multi-curve
+experiment is embarrassingly parallel.  ``execute_sweeps`` takes a list
+of :class:`SweepRequest` and returns the results **in request order**
+regardless of completion order, optionally consulting a
+:class:`~repro.exec.cache.SweepCache` first so repeated sweeps perform
+zero simulation.
+
+``max_workers=1`` (the default) runs serially in-process, which is the
+right call for the small sweeps in the test suite; anything larger
+spins up a ``concurrent.futures`` process pool.  Parallel results are
+bit-identical to serial ones because the engine never consults the
+wall clock.  ``$REPRO_EXEC_WORKERS`` overrides the default worker
+count process-wide, and ``$REPRO_SWEEP_CACHE`` supplies a default
+cache directory (see :mod:`repro.exec.cache`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.pingpong import measure_sweep
+from repro.core.results import NetPipePoint, NetPipeResult
+from repro.core.sizes import netpipe_sizes
+from repro.exec.cache import SweepCache
+from repro.exec.fingerprint import sweep_fingerprint
+from repro.hw.cluster import ClusterConfig
+from repro.mplib.base import MPLibrary
+from repro.sim import Engine
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_EXEC_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from ``$REPRO_EXEC_WORKERS``, defaulting to 1."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    workers = int(raw)
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One sweep to execute: a labelled (library, config) pair.
+
+    ``sizes=None`` means the default NetPIPE schedule.  Requests are
+    plain picklable data so they can cross the process-pool boundary.
+    """
+
+    label: str
+    library: MPLibrary
+    config: ClusterConfig
+    sizes: tuple[int, ...] | None = None
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.sizes is not None and not isinstance(self.sizes, tuple):
+            object.__setattr__(self, "sizes", tuple(self.sizes))
+
+    def fingerprint(self, salt: str = "") -> str:
+        """Content hash of everything that determines this sweep's curve."""
+        return sweep_fingerprint(
+            self.library, self.config, self.sizes, self.repeats, salt=salt
+        )
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Where one sweep's result came from and what it cost."""
+
+    label: str
+    fingerprint: str  # "" when no cache was consulted (hash not computed)
+    cached: bool
+    elapsed: float  # wall seconds (0.0 for cache hits)
+    events_processed: int  # engine events (0 for cache hits)
+
+
+@dataclass
+class RunReport:
+    """Per-sweep provenance and totals for one executor invocation."""
+
+    workers: int
+    stats: list[SweepStats] = field(default_factory=list)
+
+    @property
+    def sweeps_simulated(self) -> int:
+        """How many sweeps actually ran the engine (0 on a warm cache)."""
+        return sum(1 for s in self.stats if not s.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.stats if s.cached)
+
+    @property
+    def events_processed(self) -> int:
+        """Total engine events across all simulated sweeps."""
+        return sum(s.events_processed for s in self.stats)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Summed per-sweep wall time (CPU-seconds of simulation)."""
+        return sum(s.elapsed for s in self.stats)
+
+    def render(self) -> str:
+        lines = [
+            f"executor report: {len(self.stats)} sweeps, "
+            f"{self.sweeps_simulated} simulated, {self.cache_hits} cached, "
+            f"{self.workers} worker(s)",
+        ]
+        for s in self.stats:
+            source = "cache" if s.cached else f"{s.elapsed * 1e3:8.1f} ms"
+            lines.append(
+                f"  {s.label:28s} {source:>10s}  "
+                f"{s.events_processed:>9d} events  {s.fingerprint[:12]}"
+            )
+        lines.append(
+            f"  total: {self.events_processed} events in "
+            f"{self.sim_seconds * 1e3:.1f} ms of simulation"
+        )
+        return "\n".join(lines)
+
+
+def _run_sweep(request: SweepRequest) -> tuple[NetPipeResult, int, float]:
+    """Execute one sweep on a fresh engine (also the pool worker).
+
+    Returns ``(result, events_processed, elapsed_wall_seconds)``.
+    """
+    sizes = request.sizes if request.sizes is not None else netpipe_sizes()
+    t0 = time.perf_counter()
+    engine = Engine()
+    a, b = request.library.build(engine, request.config)
+    samples = measure_sweep(engine, a, b, sizes, repeats=request.repeats)
+    elapsed = time.perf_counter() - t0
+    result = NetPipeResult(
+        library=request.library.display_name,
+        config=request.config.describe(),
+        points=[NetPipePoint(size=s, oneway_time=t) for s, t in samples],
+    )
+    return result, engine.events_processed, elapsed
+
+
+def execute_sweeps(
+    requests: Sequence[SweepRequest],
+    max_workers: int | None = None,
+    cache: SweepCache | None = None,
+    salt: str = "",
+) -> tuple[list[NetPipeResult], RunReport]:
+    """Run many sweeps, parallel across processes, cache-aware.
+
+    :param requests: sweeps to run; results come back in this order.
+    :param max_workers: process count; ``None`` reads
+        ``$REPRO_EXEC_WORKERS`` (default 1 = serial in-process).
+    :param cache: optional sweep cache; ``None`` falls back to
+        ``$REPRO_SWEEP_CACHE`` when that is set.
+    :param salt: extra fingerprint salt (study-specific invalidation).
+    """
+    if max_workers is None:
+        max_workers = default_workers()
+    if max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if cache is None:
+        cache = SweepCache.from_env()
+
+    requests = list(requests)
+    report = RunReport(workers=max_workers)
+    results: list[NetPipeResult | None] = [None] * len(requests)
+    stats: list[SweepStats | None] = [None] * len(requests)
+    pending: list[int] = []  # indices that must actually simulate
+
+    # Fingerprints are only worth computing when there is a cache to
+    # address with them; the cache-less path stays zero-overhead.
+    if cache is not None:
+        fingerprints = [r.fingerprint(salt=salt) for r in requests]
+    else:
+        fingerprints = [""] * len(requests)
+    for i, request in enumerate(requests):
+        hit = cache.get(fingerprints[i]) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            stats[i] = SweepStats(
+                label=request.label,
+                fingerprint=fingerprints[i],
+                cached=True,
+                elapsed=0.0,
+                events_processed=0,
+            )
+        else:
+            pending.append(i)
+
+    if pending:
+        if max_workers == 1 or len(pending) == 1:
+            outcomes = [_run_sweep(requests[i]) for i in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(_run_sweep, requests[i]) for i in pending]
+                outcomes = [f.result() for f in futures]
+        for i, (result, events, elapsed) in zip(pending, outcomes):
+            results[i] = result
+            stats[i] = SweepStats(
+                label=requests[i].label,
+                fingerprint=fingerprints[i],
+                cached=False,
+                elapsed=elapsed,
+                events_processed=events,
+            )
+            if cache is not None:
+                cache.put(fingerprints[i], result)
+
+    report.stats = [s for s in stats if s is not None]
+    return [r for r in results if r is not None], report

@@ -9,13 +9,16 @@ paper's anchors from :mod:`repro.data.paper`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.results import NetPipeResult
-from repro.core.runner import run_netpipe
 from repro.data.paper import Anchor, anchors_for
 from repro.hw.cluster import ClusterConfig
 from repro.mplib.base import MPLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cache import SweepCache
+    from repro.exec.scheduler import RunReport, SweepRequest
 
 
 @dataclass(frozen=True)
@@ -53,14 +56,67 @@ class Experiment:
     description: str
     entries: tuple[ExperimentEntry, ...]
 
-    def run(self, sizes: Sequence[int] | None = None) -> dict[str, NetPipeResult]:
-        """All curves of the figure, keyed by label."""
-        out: dict[str, NetPipeResult] = {}
+    def sweep_requests(
+        self, sizes: Sequence[int] | None = None, repeats: int = 1
+    ) -> list["SweepRequest"]:  # noqa: F821 - imported lazily
+        """This figure's curves as executor requests, one per entry."""
+        from repro.exec.scheduler import SweepRequest
+
+        seen: set[str] = set()
+        requests = []
         for entry in self.entries:
-            if entry.label in out:
+            if entry.label in seen:
                 raise ValueError(f"duplicate label {entry.label!r} in {self.id}")
-            out[entry.label] = run_netpipe(entry.library, entry.config, sizes=sizes)
-        return out
+            seen.add(entry.label)
+            requests.append(
+                SweepRequest(
+                    label=entry.label,
+                    library=entry.library,
+                    config=entry.config,
+                    sizes=None if sizes is None else tuple(sizes),
+                    repeats=repeats,
+                )
+            )
+        return requests
+
+    def run_with_report(
+        self,
+        sizes: Sequence[int] | None = None,
+        repeats: int = 1,
+        max_workers: int | None = None,
+        cache: "SweepCache | None" = None,
+    ) -> tuple[dict[str, NetPipeResult], "RunReport"]:
+        """All curves plus the executor's provenance/timing report.
+
+        Curves are independent simulations, so they fan out across the
+        :mod:`repro.exec` process pool when ``max_workers`` (or
+        ``$REPRO_EXEC_WORKERS``) exceeds 1; previously computed curves
+        come from ``cache`` (or ``$REPRO_SWEEP_CACHE``) without any
+        simulation.  The report says which path each curve took.
+        """
+        from repro.exec.scheduler import execute_sweeps
+
+        requests = self.sweep_requests(sizes=sizes, repeats=repeats)
+        results, report = execute_sweeps(
+            requests, max_workers=max_workers, cache=cache
+        )
+        return (
+            {req.label: result for req, result in zip(requests, results)},
+            report,
+        )
+
+    def run(
+        self,
+        sizes: Sequence[int] | None = None,
+        repeats: int = 1,
+        max_workers: int | None = None,
+        cache: "SweepCache | None" = None,
+    ) -> dict[str, NetPipeResult]:
+        """All curves of the figure, keyed by label."""
+        results, _report = self.run_with_report(
+            sizes=sizes, repeats=repeats, max_workers=max_workers, cache=cache
+        )
+        return results
 
     def anchors(self) -> list[Anchor]:
         return anchors_for(self.id)

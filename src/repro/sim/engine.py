@@ -8,7 +8,7 @@ counter), which makes every run bit-for-bit deterministic.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, Timeout, AllOf, AnyOf
@@ -44,6 +44,10 @@ class Engine:
         eng.run()
         assert eng.now == 1.5 and proc.value == "done"
     """
+
+    # The engine is instantiated per sweep and its attributes are read
+    # on every event; __slots__ keeps instances small and lookups fast.
+    __slots__ = ("_now", "_heap", "_seq", "events_processed")
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -82,17 +86,27 @@ class Engine:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
-        self._seq += 1
+        # Hot path: called for every event in the simulation.  The
+        # zero-delay case (process resumption kicks, immediate
+        # succeed()) skips the float add entirely.
+        if delay:
+            if delay < 0:
+                raise ValueError(
+                    f"cannot schedule into the past (delay={delay!r})"
+                )
+            when = self._now + delay
+        else:
+            when = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (when, seq, event))
 
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event.  Raises SimError if none remain."""
         if not self._heap:
             raise SimError("no more events")
-        t, _, event = heapq.heappop(self._heap)
+        t, _, event = heappop(self._heap)
         self._now = t
         self.events_processed += 1
         event._fire()
@@ -109,27 +123,52 @@ class Engine:
         * ``until=<Event>`` — run until that event has fired; returns its
           value (re-raising its exception if it failed).
         """
+        # The loops below inline step() — one heappop and one _fire per
+        # event, with the heap bound to a local — because this is where
+        # a sweep spends nearly all of its time.  ``events_processed``
+        # is reconciled in ``finally`` so a mid-run exception (a failed
+        # process re-raising) still leaves the counter accurate.
+        heap = self._heap
+        processed = 0
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    t, _, event = heappop(heap)
+                    self._now = t
+                    processed += 1
+                    event._fire()
+            finally:
+                self.events_processed += processed
             return None
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._heap:
-                    raise SimError(
-                        "deadlock: event heap drained before the awaited "
-                        "event fired (a process is waiting on something "
-                        "that can never happen)"
-                    )
-                self.step()
+            try:
+                while not target.processed:
+                    if not heap:
+                        raise SimError(
+                            "deadlock: event heap drained before the awaited "
+                            "event fired (a process is waiting on something "
+                            "that can never happen)"
+                        )
+                    t, _, event = heappop(heap)
+                    self._now = t
+                    processed += 1
+                    event._fire()
+            finally:
+                self.events_processed += processed
             if not target.ok:
                 raise target.value
             return target.value
         horizon = float(until)
         if horizon < self._now:
             raise ValueError("cannot run() to a time in the past")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        try:
+            while heap and heap[0][0] <= horizon:
+                t, _, event = heappop(heap)
+                self._now = t
+                processed += 1
+                event._fire()
+        finally:
+            self.events_processed += processed
         self._now = max(self._now, horizon)
         return None

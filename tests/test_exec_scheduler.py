@@ -1,0 +1,121 @@
+"""Parallel executor: ordering, parallel-vs-serial equality, reports."""
+
+import pytest
+
+from repro.core import netpipe_sizes, run_netpipe
+from repro.core.runner import run_many
+from repro.exec import SweepCache, SweepRequest, execute_sweeps
+from repro.experiments import configs
+from repro.experiments.figures import FIG1, FIG4
+from repro.mplib import Mpich, RawTcp
+
+CFG = configs.pc_netgear_ga620()
+#: Small schedule to keep the parallel (multi-process) tests quick.
+SIZES = tuple(netpipe_sizes(stop=1 << 14))
+
+pytestmark = pytest.mark.exec_smoke
+
+
+def _curve(result):
+    return [(p.size, p.oneway_time) for p in result.points]
+
+
+def test_requests_validate():
+    with pytest.raises(ValueError):
+        SweepRequest("x", RawTcp(), CFG, repeats=0)
+    req = SweepRequest("x", RawTcp(), CFG, sizes=[1, 2, 3])
+    assert req.sizes == (1, 2, 3)  # normalised for hashing/pickling
+
+
+def test_results_come_back_in_request_order():
+    requests = [
+        SweepRequest("mpich", Mpich.tuned(), CFG, sizes=SIZES),
+        SweepRequest("tcp", RawTcp(), CFG, sizes=SIZES),
+    ]
+    results, report = execute_sweeps(requests)
+    assert [r.library for r in results] == ["MPICH", "raw TCP"]
+    assert [s.label for s in report.stats] == ["mpich", "tcp"]
+    assert report.sweeps_simulated == 2 and report.cache_hits == 0
+    assert report.events_processed > 0
+    assert all(s.events_processed > 0 for s in report.stats)
+
+
+@pytest.mark.parametrize("fig", [FIG1, FIG4], ids=lambda f: f.id)
+def test_parallel_matches_serial_bit_for_bit(fig):
+    serial = fig.run(sizes=SIZES)
+    parallel = fig.run(sizes=SIZES, max_workers=2)
+    assert list(parallel) == list(serial)
+    for label in serial:
+        assert _curve(parallel[label]) == _curve(serial[label]), label
+
+
+def test_executor_matches_run_netpipe():
+    """The executor path and the classic one-call path agree exactly."""
+    (result,), _ = execute_sweeps(
+        [SweepRequest("tcp", RawTcp(), CFG, sizes=SIZES, repeats=3)]
+    )
+    assert _curve(result) == _curve(run_netpipe(RawTcp(), CFG, sizes=SIZES, repeats=3))
+
+
+def test_warm_cache_performs_zero_simulation(tmp_path):
+    cache = SweepCache(tmp_path)
+    cold, cold_report = FIG1.run_with_report(sizes=SIZES, cache=cache)
+    assert cold_report.sweeps_simulated == len(FIG1.entries)
+
+    warm, warm_report = FIG1.run_with_report(sizes=SIZES, cache=cache)
+    assert warm_report.sweeps_simulated == 0  # the acceptance counter
+    assert warm_report.cache_hits == len(FIG1.entries)
+    assert warm_report.events_processed == 0
+    for label in cold:
+        assert _curve(warm[label]) == _curve(cold[label]), label
+
+
+def test_cache_shared_across_parallel_and_serial(tmp_path):
+    cache = SweepCache(tmp_path)
+    serial = FIG1.run(sizes=SIZES, cache=cache)
+    parallel, report = FIG1.run_with_report(
+        sizes=SIZES, max_workers=2, cache=cache
+    )
+    assert report.sweeps_simulated == 0
+    for label in serial:
+        assert _curve(parallel[label]) == _curve(serial[label]), label
+
+
+def test_repeats_are_plumbed_and_fingerprinted(tmp_path):
+    """repeats reaches the inner loop and distinguishes cache entries."""
+    cache = SweepCache(tmp_path)
+    one = FIG1.run(sizes=SIZES, repeats=1, cache=cache)
+    _, report = FIG1.run_with_report(sizes=SIZES, repeats=2, cache=cache)
+    assert report.sweeps_simulated == len(FIG1.entries)  # no false hits
+    del one
+
+    r1 = run_netpipe(RawTcp(), CFG, sizes=SIZES, repeats=1)
+    r2 = run_many([RawTcp()], CFG, sizes=SIZES, repeats=1)["raw TCP"]
+    assert _curve(r1) == _curve(r2)
+
+
+def test_run_many_rejects_duplicate_labels():
+    with pytest.raises(ValueError):
+        run_many([RawTcp(), RawTcp()], CFG, sizes=SIZES)
+
+
+def test_workers_env_override(monkeypatch):
+    from repro.exec.scheduler import WORKERS_ENV, default_workers
+
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert default_workers() == 1
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    assert default_workers() == 3
+    monkeypatch.setenv(WORKERS_ENV, "0")
+    with pytest.raises(ValueError):
+        default_workers()
+
+
+def test_report_render_names_every_sweep(tmp_path):
+    cache = SweepCache(tmp_path)
+    FIG1.run(sizes=SIZES, cache=cache)
+    _, report = FIG1.run_with_report(sizes=SIZES, cache=cache)
+    text = report.render()
+    for label in FIG1.labels():
+        assert label in text
+    assert "7 cached" in text
