@@ -11,6 +11,7 @@ Commands
 ``export``               write per-figure np.out/json curve files
 ``cpu``                  host-CPU availability per transport
 ``loopback``             live two-process NetPIPE over loopback TCP
+``check``                determinism & cache-safety static analysis
 """
 
 from __future__ import annotations
@@ -177,6 +178,13 @@ def cmd_loopback(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static analysis over the simulation core (repro.check)."""
+    from repro.check.cli import main as check_main
+
+    return check_main(args.check_args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -227,11 +235,28 @@ def main(argv: list[str] | None = None) -> int:
     add_exec_options(p)
     p.set_defaults(func=cmd_export)
 
+    p = sub.add_parser(
+        "check", help="determinism & cache-safety static analysis"
+    )
+    p.add_argument(
+        "check_args", nargs=argparse.REMAINDER, metavar="...",
+        help="paths and options passed to repro-check",
+    )
+    p.set_defaults(func=cmd_check)
+
     p = sub.add_parser("loopback", help="live loopback NetPIPE")
     p.add_argument("--max-size", type=int, default=1 << 20)
     p.add_argument("--sockbuf", type=int, default=None)
     p.add_argument("--threshold", type=int, default=64 * 1024)
     p.set_defaults(func=cmd_loopback)
+
+    # ``check`` forwards everything (including --options, which
+    # argparse.REMAINDER would swallow) to the repro.check CLI.
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "check":
+        return cmd_check(
+            argparse.Namespace(check_args=raw[1:])
+        )
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,42 @@
+"""``repro.check`` — determinism & cache-safety static analysis.
+
+The reproduction's validity rests on two mechanical invariants:
+
+1. **Determinism** — every curve must emerge bit-for-bit identically
+   from the :mod:`repro.sim` engine on every run.  Nothing in the
+   simulation packages may consult the wall clock, the process
+   environment, or an entropy source.
+2. **Cache safety** — the content-addressed sweep cache
+   (:mod:`repro.exec.cache`) assumes that every input that can change a
+   curve is visible to :func:`repro.exec.fingerprint.canonicalize`'s
+   canonical walk.  A tunable hidden in a ``ClassVar`` would replay
+   stale cached curves forever.
+
+``repro.check`` enforces both with a dependency-free AST analyzer:
+rule families live under :mod:`repro.check.rules`, the per-package
+policy in :mod:`repro.check.config`, and the CLI (``python -m repro
+check`` / ``repro-check``) in :mod:`repro.check.cli`.  See
+docs/STATIC_ANALYSIS.md for the rule catalog and suppression syntax.
+"""
+
+from repro.check.analyzer import (
+    Finding,
+    ModuleContext,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    module_name_for_path,
+)
+from repro.check.config import DEFAULT_POLICY, SIM_PACKAGES, Policy
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "module_name_for_path",
+    "DEFAULT_POLICY",
+    "SIM_PACKAGES",
+    "Policy",
+]

@@ -1,0 +1,269 @@
+"""The analysis driver: parse, dispatch rule families, filter, sort.
+
+One :class:`ModuleContext` per file carries everything a rule needs
+(AST, resolved module name, source).  Rules never do their own policy
+or suppression filtering — they report every raw violation and the
+driver applies :class:`~repro.check.config.Policy` scoping, per-rule
+exemptions, and ``# repro: allow[rule-id]`` line suppressions.
+
+Module names are derived from the file path (the trailing
+``repro.…`` package path), or overridden by a directive in the first
+few lines::
+
+    # repro: module=repro.sim.fixture
+
+which is how the test fixture corpus pretends to live inside the
+simulation packages.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.check.config import DEFAULT_POLICY, Policy
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rule families get to see for one file."""
+
+    path: str
+    module: str | None
+    tree: ast.Module
+    source: str
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        """A Finding anchored at ``node``'s location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class ImportMap:
+    """Local name -> canonical dotted path, from a module's imports.
+
+    ``import time as t`` maps ``t -> time``; ``from os import environ``
+    maps ``environ -> os.environ``.  Relative imports are project-
+    internal and never resolve to a banned stdlib module, so they are
+    ignored.
+    """
+
+    def __init__(self) -> None:
+        self.names: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        imap = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imap.names[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        imap.names[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imap.names[local] = f"{node.module}.{alias.name}"
+        return imap
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.names.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)]) if parts else base
+
+
+# -- suppressions -------------------------------------------------------------
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+_MODULE_RE = re.compile(r"^#\s*repro:\s*module=([A-Za-z_][\w.]*)\s*$")
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """``# repro: allow[...]`` comments, as line -> suppressed rule ids.
+
+    A trailing comment suppresses matching findings on its own line; a
+    standalone comment (possibly continued by further comment lines)
+    covers the next non-blank, non-comment line.
+    """
+    lines = source.splitlines()
+    out: dict[int, set[str]] = {}
+
+    def _target_line(comment_line: int, standalone: bool) -> int:
+        if not standalone:
+            return comment_line
+        nxt = comment_line  # 0-based index of the line after the comment
+        while nxt < len(lines):
+            stripped = lines[nxt].strip()
+            if stripped and not stripped.startswith("#"):
+                return nxt + 1
+            nxt += 1
+        return comment_line
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            standalone = not tok.line[: tok.start[1]].strip()
+            out.setdefault(_target_line(tok.start[0], standalone), set()).update(ids)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
+    return finding.rule in suppressions.get(finding.line, ())
+
+
+# -- module identity ----------------------------------------------------------
+
+def module_name_for_path(path: str | Path) -> str | None:
+    """Dotted module from the trailing ``repro/...`` path components."""
+    parts = Path(path).resolve().parts
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = list(parts[idx:])
+    dotted[-1] = dotted[-1].removesuffix(".py")
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+def _directive_module(source: str) -> str | None:
+    for line in source.splitlines()[:10]:
+        match = _MODULE_RE.match(line.strip())
+        if match:
+            return match.group(1)
+    return None
+
+
+# -- driver -------------------------------------------------------------------
+
+_UNSET = object()
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module: object = _UNSET,
+    policy: Policy = DEFAULT_POLICY,
+) -> list[Finding]:
+    """Run every applicable rule family over one module's source."""
+    if module is _UNSET:
+        module = _directive_module(source) or module_name_for_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule="parse-error",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, module=module, tree=tree, source=source)
+
+    from repro.check.rules import FAMILIES
+
+    raw: list[Finding] = []
+    for family in FAMILIES:
+        if policy.family_applies(family.FAMILY, module):
+            raw.extend(family.check(ctx))
+
+    suppressions = collect_suppressions(source)
+    return sorted(
+        f
+        for f in raw
+        if policy.rule_applies(f.rule, module)
+        and not _suppressed(f, suppressions)
+    )
+
+
+def analyze_file(
+    path: str | Path, policy: Policy = DEFAULT_POLICY
+) -> list[Finding]:
+    """Analyze one ``.py`` file."""
+    text = Path(path).read_text(encoding="utf-8")
+    return analyze_source(text, path=str(path), policy=policy)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` under ``paths`` (skipping hidden dirs, __pycache__)."""
+    for entry in paths:
+        p = Path(entry)
+        if not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        if p.is_file():
+            yield p
+            continue
+        for sub in sorted(p.rglob("*.py")):
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in sub.parts
+            ):
+                continue
+            yield sub
+
+
+def analyze_paths(
+    paths: Sequence[str | Path], policy: Policy = DEFAULT_POLICY
+) -> list[Finding]:
+    """Analyze files and directory trees; findings sorted by location."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(analyze_file(file, policy=policy))
+    return sorted(findings)

@@ -1,0 +1,101 @@
+"""``repro-check`` / ``python -m repro check`` — run the analyzer.
+
+Exit status: 0 clean, 1 findings, 2 usage or filesystem errors.
+
+::
+
+    $ repro-check src
+    src is clean: 0 findings in 89 files
+
+    $ repro-check tests/check_fixtures/det_bad.py
+    tests/check_fixtures/det_bad.py:12:12: det-wallclock use of 'time.time' ...
+    1 finding in 1 file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.check.analyzer import analyze_paths, iter_python_files
+from repro.check.config import DEFAULT_POLICY
+
+
+def _list_rules() -> str:
+    from repro.check.rules import RULES
+
+    width = max(len(rule_id) for rule_id in RULES)
+    lines = [
+        f"  {rule_id:<{width}}  [{family}] {description}"
+        for rule_id, (family, description) in sorted(RULES.items())
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description=(
+            "Determinism & cache-safety static analyzer for the "
+            "repro simulation core (see docs/STATIC_ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        files = list(iter_python_files(args.paths))
+        findings = analyze_paths(args.paths, policy=DEFAULT_POLICY)
+    except FileNotFoundError as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": len(files),
+                    "count": len(findings),
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        target = ", ".join(str(p) for p in args.paths)
+        noun = "file" if len(files) == 1 else "files"
+        if findings:
+            plural = "finding" if len(findings) == 1 else "findings"
+            print(f"{len(findings)} {plural} in {len(files)} {noun}")
+        else:
+            print(f"{target} is clean: 0 findings in {len(files)} {noun}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

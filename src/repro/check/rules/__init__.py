@@ -1,0 +1,22 @@
+"""Rule registry: one module per rule family.
+
+Each family module exposes ``FAMILY`` (the policy-scope key), ``RULES``
+(rule id -> one-line description) and ``check(ctx) -> list[Finding]``.
+The driver in :mod:`repro.check.analyzer` decides *whether* a family
+runs on a module; families report every raw violation they see.
+"""
+
+from __future__ import annotations
+
+from repro.check.rules import cache, determinism, purity, yields
+
+#: Rule family modules, in report order.
+FAMILIES = (determinism, purity, yields, cache)
+
+#: rule id -> (family name, description), for --list-rules and docs.
+RULES: dict[str, tuple[str, str]] = {
+    rule_id: (family.FAMILY, description)
+    for family in FAMILIES
+    for rule_id, description in family.RULES.items()
+}
+RULES["parse-error"] = ("driver", "file could not be parsed as Python")

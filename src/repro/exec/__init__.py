@@ -13,7 +13,13 @@ See docs/PERFORMANCE.md for the cache layout and invalidation rules.
 """
 
 from repro.exec.cache import CACHE_DIR_ENV, SweepCache
-from repro.exec.fingerprint import CODE_SALT, canonicalize, sweep_fingerprint
+from repro.exec.fingerprint import (
+    CODE_SALT,
+    canonicalize,
+    code_salt,
+    source_digest,
+    sweep_fingerprint,
+)
 from repro.exec.scheduler import (
     WORKERS_ENV,
     RunReport,
@@ -32,7 +38,9 @@ __all__ = [
     "SweepStats",
     "WORKERS_ENV",
     "canonicalize",
+    "code_salt",
     "default_workers",
+    "source_digest",
     "execute_sweeps",
     "sweep_fingerprint",
 ]

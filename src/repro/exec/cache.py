@@ -50,6 +50,9 @@ class SweepCache:
     @classmethod
     def from_env(cls) -> "SweepCache | None":
         """Cache at ``$REPRO_SWEEP_CACHE``, or None when unset/empty."""
+        # repro: allow[det-env] selects where curves are stored, never
+        # what they contain — content addressing keeps entries location-
+        # independent.
         root = os.environ.get(CACHE_DIR_ENV, "").strip()
         return cls(root) if root else None
 

@@ -8,26 +8,78 @@ dataclasses, enums and plain objects recursively.  It is independent of
 ``PYTHONHASHSEED``, process, and platform, which is what lets the
 on-disk cache in :mod:`repro.exec.cache` be shared between runs.
 
-A code-version salt (:data:`CODE_SALT`) is folded into every digest.
-Bump it whenever the simulation's numeric behaviour changes — every
-previously cached curve then misses, which is the cache's invalidation
-story (see docs/PERFORMANCE.md).
+A code-version salt (:func:`code_salt`) is folded into every digest.
+It is *derived*: a content hash over the source files of the packages
+whose code determines simulated timings (:data:`SALTED_PACKAGES`), so
+any model edit automatically invalidates every previously cached curve
+— nobody has to remember to bump a constant (see docs/PERFORMANCE.md).
+:data:`CODE_SALT` survives as the version prefix and as the fallback
+when the source tree is not readable (frozen/zipapp installs).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import hashlib
 import types
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.hw.cluster import ClusterConfig
 from repro.mplib.base import MPLibrary
 
-#: Folded into every fingerprint.  Bump the trailing integer whenever a
-#: model change alters simulated timings, so stale cache entries miss.
+#: Version prefix of the derived salt, and the whole salt when the
+#: source tree cannot be hashed.  Bump only on a semantic break in the
+#: cache entry format itself; model edits are picked up automatically.
 CODE_SALT = "repro-sweep-v1"
+
+#: Sub-packages of ``repro`` whose source content determines simulated
+#: timings.  Editing any ``.py`` file under these changes the derived
+#: salt, so stale cache entries can never be replayed.  Orchestration
+#: (``exec``), live benchmarking (``realnet``) and reporting layers are
+#: deliberately absent: they cannot alter a curve.
+SALTED_PACKAGES = ("sim", "net", "mplib", "hw", "core")
+
+
+def source_digest(root: str | Path | None = None) -> str | None:
+    """SHA-256 over the simulation-affecting source files.
+
+    Walks ``<root>/<pkg>/**/*.py`` for each package in
+    :data:`SALTED_PACKAGES` in sorted order, hashing relative path and
+    raw bytes.  ``root`` defaults to the installed ``repro`` package
+    directory.  Returns ``None`` when no source files are found (e.g.
+    running from a frozen archive), which callers treat as "fall back
+    to the plain version prefix".
+    """
+    base = Path(root) if root is not None else Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    seen = False
+    for pkg in SALTED_PACKAGES:
+        pkg_dir = base / pkg
+        if not pkg_dir.is_dir():
+            continue
+        for path in sorted(pkg_dir.rglob("*.py")):
+            seen = True
+            rel = f"{pkg}/{path.relative_to(pkg_dir).as_posix()}"
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest() if seen else None
+
+
+@functools.lru_cache(maxsize=None)
+def code_salt() -> str:
+    """The derived code-version salt folded into every fingerprint.
+
+    ``<CODE_SALT>+<first 16 hex of the source digest>``, or just
+    :data:`CODE_SALT` when the sources are unavailable.  Cached for the
+    process lifetime — sources do not change under a running sweep.
+    """
+    digest = source_digest()
+    return f"{CODE_SALT}+{digest[:16]}" if digest else CODE_SALT
 
 #: Types emitted verbatim (via repr) into the canonical form.
 _ATOMS = (int, float, bool, str, bytes, type(None))
@@ -116,7 +168,7 @@ def sweep_fingerprint(
     sizes_part = canonicalize(list(sizes))
     payload = "|".join(
         (
-            CODE_SALT,
+            code_salt(),
             salt,
             canonicalize(library),
             canonicalize(config),

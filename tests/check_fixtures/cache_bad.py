@@ -1,0 +1,17 @@
+# repro: module=repro.hw.fixture_cache_bad
+"""Known-bad cache-safety fixture: fields the fingerprint cannot see."""
+
+from dataclasses import InitVar, dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class LeakyTuning:
+    # A real field: fine.
+    sockbuf_request: int = 32768
+    # cache-classvar: dataclasses.fields() skips ClassVars entirely.
+    eager_threshold: ClassVar[int] = 16384
+    # cache-initvar: consumed in __post_init__, never stored or hashed.
+    scale: InitVar[float] = 1.0
+    # cache-classattr: unannotated, so a plain class attribute.
+    progress_stall = 0.000904

@@ -1,0 +1,18 @@
+# repro: module=repro.hw.fixture_cache_good
+"""Known-good cache-safety fixture: every knob is a real field."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HonestTuning:
+    sockbuf_request: int = 32768
+    eager_threshold: int = 16384
+    progress_stall: float = 0.000904
+    sizes: tuple = field(default_factory=tuple)
+
+
+class NotADataclass:
+    # Plain classes are walked via __dict__; class attributes here are
+    # out of the rule's (documented) scope.
+    polling = True

@@ -1,0 +1,41 @@
+# repro: module=repro.sim.fixture_det_bad
+"""Known-bad determinism fixture: every det-* rule fires once or more."""
+
+import os
+import random
+import time as clock
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+
+def start_stamp():
+    return time_stamp()
+
+
+def time_stamp():
+    return clock.time()  # det-wallclock, aliased import
+
+
+def precise():
+    return perf_counter()  # det-wallclock, from-import
+
+
+def born():
+    return datetime.now()  # det-wallclock
+
+
+def jitter():
+    return random.random()  # det-random
+
+
+def token():
+    return uuid.uuid4()  # det-entropy
+
+
+def noise():
+    return os.urandom(8)  # det-entropy
+
+
+def knob():
+    return os.environ.get("REPRO_SECRET_KNOB", "0")  # det-env

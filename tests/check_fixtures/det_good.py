@@ -1,0 +1,22 @@
+# repro: module=repro.sim.fixture_det_good
+"""Known-good determinism fixture: simulated time only, no findings."""
+
+import math
+
+
+class FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, delay):
+        self.now += delay
+        return self.now
+
+
+def service_time(nbytes, rate):
+    return nbytes / rate + math.exp(-1.0)
+
+
+def run(engine, nbytes):
+    engine.advance(service_time(nbytes, 125e6))
+    return engine.now

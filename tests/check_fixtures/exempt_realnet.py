@@ -1,0 +1,12 @@
+# repro: module=repro.realnet.fixture
+"""Policy-exemption fixture: realnet touches the real world by design."""
+
+import socket
+import time
+
+
+def measure(host, port):
+    t0 = time.perf_counter()
+    s = socket.create_connection((host, port))
+    s.close()
+    return time.perf_counter() - t0

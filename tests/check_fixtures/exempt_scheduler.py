@@ -1,0 +1,15 @@
+# repro: module=repro.exec.scheduler
+"""Policy-exemption fixture: the scheduler times real sweeps."""
+
+import os
+import time
+
+
+def wall_seconds(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def workers():
+    return int(os.environ.get("REPRO_EXEC_WORKERS", "1"))

@@ -1,0 +1,27 @@
+# repro: module=repro.net.fixture_purity_bad
+"""Known-bad purity fixture: real I/O in a simulation package."""
+
+import socket
+import subprocess
+import threading
+
+
+def connect(host):
+    s = socket.socket()  # the import is flagged, not each use
+    s.connect((host, 5000))
+    return s
+
+
+def shell(cmd):
+    return subprocess.run(cmd)
+
+
+def spawn(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    return t
+
+
+def slurp(path):
+    with open(path) as fh:  # pure-open: builtin open()
+        return fh.read()

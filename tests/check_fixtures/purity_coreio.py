@@ -1,0 +1,9 @@
+# repro: module=repro.core.io.fixture
+"""The sanctioned serialization module may call open() (rule exemption)."""
+
+import json
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)

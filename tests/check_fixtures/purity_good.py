@@ -1,0 +1,17 @@
+# repro: module=repro.net.fixture_purity_good
+"""Known-good purity fixture: models I/O without performing it.
+
+Mentioning socket buffers in prose (or naming a variable ``sockbuf``)
+must not trip the AST-based rules — only real imports and calls do.
+"""
+
+
+def effective_sockbuf(requested, maximum):
+    """Clamp like setsockopt(SO_SNDBUF) would — no socket involved."""
+    return min(requested, maximum)
+
+
+def open_window(sockbuf, ack_rtt):
+    # A local callable named ``open`` elsewhere would shadow the
+    # builtin; here we simply never call file I/O.
+    return sockbuf / ack_rtt

@@ -1,0 +1,19 @@
+# repro: module=repro.sim.fixture_suppressed
+"""Suppression fixture: allow[] comments silence exactly their rule."""
+
+import os
+import time
+
+
+def trailing():
+    return time.time()  # repro: allow[det-wallclock] fixture: trailing form
+
+
+def standalone():
+    # repro: allow[det-env] fixture: standalone form, continued on a
+    # second comment line, covering the next code line.
+    return os.environ.get("REPRO_FIXTURE", "")
+
+
+def wrong_rule_id():
+    return time.time()  # repro: allow[pure-socket] does NOT match det-wallclock

@@ -1,0 +1,32 @@
+"""Known-bad yield-discipline fixture: discarded generator calls.
+
+No module directive on purpose: yield-discipline is globally scoped,
+so it must fire even for files outside the repro package tree.
+"""
+
+
+def sender(ep, size):
+    yield ep.send(size)
+    return size
+
+
+def pinger(ep, size):
+    sender(ep, size)  # yield-discard: generator created, never driven
+    yield ep.recv(size)
+
+
+class Endpoint:
+    def _drain(self):
+        yield self.channel.get()
+
+    def close(self):
+        self._drain()  # yield-discard: self-method generator discarded
+        self.closed = True
+
+
+def nested_scope(ep):
+    def helper():
+        yield ep.flush()
+
+    helper()  # yield-discard: nested generator discarded
+    return ep

@@ -1,0 +1,31 @@
+"""Known-good yield-discipline fixture: every generator is driven."""
+
+
+def sender(ep, size):
+    yield ep.send(size)
+    return size
+
+
+def pinger(engine, ep, size):
+    yield from sender(ep, size)  # driven inline
+    proc = engine.process(sender(ep, size))  # handed to the engine
+    yield proc
+
+
+def collect(ep, sizes):
+    return [list(sender(ep, s)) for s in sizes]  # consumed, not discarded
+
+
+class Endpoint:
+    def _drain(self):
+        yield self.channel.get()
+
+    def close(self, engine):
+        engine.process(self._drain())  # argument position: fine
+        self.closed = True
+
+    def log(self):
+        self.describe()  # plain method call, not a generator
+
+    def describe(self):
+        return "endpoint"

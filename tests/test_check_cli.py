@@ -1,0 +1,73 @@
+"""The repro-check CLI: exit codes, report format, CLI wiring."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.check.cli import main as check_main
+
+pytestmark = pytest.mark.check
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+FIXTURES = Path(__file__).resolve().parent / "check_fixtures"
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert check_main([str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_each_known_bad_fixture_fails_with_file_line(capsys):
+    for name in ("det_bad.py", "purity_bad.py", "yield_bad.py", "cache_bad.py"):
+        path = FIXTURES / name
+        assert check_main([str(path)]) == 1, name
+        out = capsys.readouterr().out
+        # file:line:col findings, one per line, then a summary.
+        first = out.splitlines()[0]
+        assert first.startswith(f"{path}:"), first
+        prefix, _, _ = first.partition(" ")
+        file_part, line_part, col_part = prefix.rsplit(":", 3)[:3]
+        assert int(line_part) >= 1 and int(col_part.rstrip(":")) >= 1
+
+
+def test_json_format(capsys):
+    assert check_main([str(FIXTURES / "cache_bad.py"), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 3 == len(payload["findings"])
+    assert {f["rule"] for f in payload["findings"]} == {
+        "cache-classvar",
+        "cache-initvar",
+        "cache-classattr",
+    }
+    assert all(f["path"].endswith("cache_bad.py") for f in payload["findings"])
+
+
+def test_list_rules(capsys):
+    assert check_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "det-wallclock",
+        "det-env",
+        "pure-socket",
+        "yield-discard",
+        "cache-classvar",
+    ):
+        assert rule in out
+
+
+def test_missing_path_exits_two(capsys):
+    assert check_main(["no/such/dir"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_python_m_repro_check_wiring(capsys):
+    # Both paths and --options must pass through ``python -m repro``.
+    assert repro_main(["check", str(SRC)]) == 0
+    capsys.readouterr()
+    assert repro_main(["check", "--list-rules"]) == 0
+    assert "yield-discard" in capsys.readouterr().out
+    assert repro_main(["check", str(FIXTURES / "det_bad.py")]) == 1

@@ -1,0 +1,53 @@
+"""The analyzer's verdict on our own source tree: zero findings.
+
+This is the tier-1 teeth of repro.check — the determinism and
+cache-safety invariants DESIGN.md claims are enforced here, on every
+test run, with no baseline file to hide behind.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import DEFAULT_POLICY, SIM_PACKAGES, analyze_paths
+
+pytestmark = pytest.mark.check
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def test_source_tree_is_clean():
+    findings = analyze_paths([SRC])
+    assert findings == [], "repro.check found violations:\n" + "\n".join(
+        f.render() for f in findings
+    )
+
+
+def test_policy_covers_the_simulation_core():
+    # The packages whose determinism the reproduction's claims rest on
+    # must all be inside the determinism and purity scopes.
+    for family in ("determinism", "purity", "cache-safety"):
+        for pkg in SIM_PACKAGES:
+            assert DEFAULT_POLICY.family_applies(family, pkg + ".engine"), (
+                family,
+                pkg,
+            )
+    # ... and the sanctioned escape hatches must stay open.
+    assert not DEFAULT_POLICY.family_applies(
+        "determinism", "repro.realnet.transport"
+    )
+    assert not DEFAULT_POLICY.family_applies(
+        "determinism", "repro.exec.scheduler"
+    )
+    assert not DEFAULT_POLICY.rule_applies("pure-open", "repro.core.io")
+
+
+def test_every_analyzed_source_module_resolves_a_name():
+    # Path-derived module names are what scoping keys on; every file
+    # under src/ must resolve so no module silently escapes policy.
+    from repro.check import module_name_for_path
+    from repro.check.analyzer import iter_python_files
+
+    for path in iter_python_files([SRC]):
+        module = module_name_for_path(path)
+        assert module and module.startswith("repro"), path
