@@ -39,7 +39,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
             continue
         print(f"\n{'=' * 78}\n{fig.title}\n{'=' * 78}")
         results, exec_report = fig.run_with_report(
-            max_workers=args.workers, cache=cache
+            max_workers=args.workers, cache=cache,
+            timeout=args.timeout, retries=args.retries,
         )
         print(format_comparison(results))
         print()
@@ -152,7 +153,8 @@ def cmd_export(args: argparse.Namespace) -> int:
     count = 0
     for fig in ALL_FIGURES:
         for label, result in fig.run(
-            max_workers=args.workers, cache=cache
+            max_workers=args.workers, cache=cache,
+            timeout=args.timeout, retries=args.retries,
         ).items():
             slug = label.lower().replace("/", "-").replace(" ", "")
             base = os.path.join(args.directory, f"{fig.id}.{slug}")
@@ -201,6 +203,16 @@ def main(argv: list[str] | None = None) -> int:
         sp.add_argument(
             "--cache", default=None, metavar="DIR",
             help="sweep-cache directory (default $REPRO_SWEEP_CACHE)",
+        )
+        sp.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-sweep attempt deadline "
+                 "(default $REPRO_EXEC_TIMEOUT or unlimited)",
+        )
+        sp.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="extra attempts per failed/stuck sweep "
+                 "(default $REPRO_EXEC_RETRIES or 2)",
         )
 
     p = sub.add_parser("figures", help="run all figures with anchor audits")

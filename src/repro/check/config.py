@@ -98,9 +98,14 @@ DEFAULT_POLICY = Policy(
     },
     family_exemptions={
         # Live loopback benchmarking: real sockets, real clock — the
-        # whole point of the package is to not be a simulation.
-        "determinism": ("repro.realnet", "repro.exec.scheduler"),
-        "purity": ("repro.realnet",),
+        # whole point of the package is to not be a simulation.  Fault
+        # injection (repro.faults) blocks on real time and kills real
+        # worker processes *by design*; it runs only under an explicit
+        # test-supplied FaultPlan and never inside a simulation.
+        "determinism": (
+            "repro.realnet", "repro.exec.scheduler", "repro.faults",
+        ),
+        "purity": ("repro.realnet", "repro.faults"),
     },
     rule_exemptions={
         # The one sanctioned place for file I/O: baseline/result (de)serialization.

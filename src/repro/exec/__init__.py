@@ -9,7 +9,14 @@ The executor layer the experiment harness runs on::
         requests, max_workers=4, cache=SweepCache("~/.cache/repro")
     )
 
-See docs/PERFORMANCE.md for the cache layout and invalidation rules.
+The executor retries failed attempts, times out stuck ones, survives
+crashed workers by degrading to serial execution, and validates every
+result before returning or caching it — see
+:mod:`repro.exec.scheduler` for the full story and :mod:`repro.faults`
+for the deterministic fault injection the chaos tests use to prove it.
+
+See docs/PERFORMANCE.md for the cache layout and invalidation rules,
+and docs/TESTING.md for the test tiers covering this package.
 """
 
 from repro.exec.cache import CACHE_DIR_ENV, SweepCache
@@ -21,10 +28,16 @@ from repro.exec.fingerprint import (
     sweep_fingerprint,
 )
 from repro.exec.scheduler import (
+    RETRIES_ENV,
+    TIMEOUT_ENV,
     WORKERS_ENV,
+    ExecEvent,
     RunReport,
+    SweepExecutionError,
     SweepRequest,
     SweepStats,
+    default_retries,
+    default_timeout,
     default_workers,
     execute_sweeps,
 )
@@ -32,13 +45,19 @@ from repro.exec.scheduler import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CODE_SALT",
+    "ExecEvent",
+    "RETRIES_ENV",
     "RunReport",
     "SweepCache",
+    "SweepExecutionError",
     "SweepRequest",
     "SweepStats",
+    "TIMEOUT_ENV",
     "WORKERS_ENV",
     "canonicalize",
     "code_salt",
+    "default_retries",
+    "default_timeout",
     "default_workers",
     "source_digest",
     "execute_sweeps",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
 from repro.core.io import result_from_dict, save_result
@@ -46,6 +47,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.write_errors = 0
 
     @classmethod
     def from_env(cls) -> "SweepCache | None":
@@ -91,6 +93,27 @@ class SweepCache:
         save_result(result, path)
         return path
 
+    def try_put(self, fingerprint: str, result: NetPipeResult) -> Path | None:
+        """Best-effort :meth:`put`: a failed write warns instead of raising.
+
+        A sweep that simulated correctly is a good result even when the
+        cache directory is full, read-only, or gone — losing the cache
+        entry only costs a re-simulation next run.  Returns the entry
+        path, or ``None`` when the write failed (the failure is issued
+        as a :class:`RuntimeWarning` and counted in ``write_errors``).
+        """
+        try:
+            return self.put(fingerprint, result)
+        except OSError as exc:
+            self.write_errors += 1
+            warnings.warn(
+                f"sweep-cache write failed for {fingerprint[:12]} "
+                f"under {self.root}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
     def invalidate(self, fingerprint: str) -> bool:
         """Drop one entry; True if it existed."""
         try:
@@ -113,5 +136,6 @@ class SweepCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<SweepCache {self.root} hits={self.hits} "
-            f"misses={self.misses} corrupt={self.corrupt}>"
+            f"misses={self.misses} corrupt={self.corrupt} "
+            f"write_errors={self.write_errors}>"
         )

@@ -12,18 +12,53 @@ zero simulation.
 right call for the small sweeps in the test suite; anything larger
 spins up a ``concurrent.futures`` process pool.  Parallel results are
 bit-identical to serial ones because the engine never consults the
-wall clock.  ``$REPRO_EXEC_WORKERS`` overrides the default worker
-count process-wide, and ``$REPRO_SWEEP_CACHE`` supplies a default
-cache directory (see :mod:`repro.exec.cache`).
+wall clock.
+
+The executor is hardened against misbehaving workers — the transport
+lesson of the paper (and of the MPICH2/RDMA and NIC-barrier follow-on
+work) applied to our own harness: degrade predictably, never silently.
+
+* **per-sweep timeout** — ``timeout=`` / ``$REPRO_EXEC_TIMEOUT``; in
+  pool mode a sweep past its deadline is abandoned and resubmitted, in
+  serial mode the overrun is detected after the fact and the attempt
+  discarded and retried.
+* **bounded retry** — any failed attempt (exception, timeout, result
+  failing validation) is retried up to ``retries=`` /
+  ``$REPRO_EXEC_RETRIES`` times with exponential backoff.
+* **pool-break recovery** — a crashed worker breaks the whole
+  ``ProcessPoolExecutor``; the scheduler catches that and re-runs every
+  unfinished sweep serially in-process (graceful degradation), flagged
+  in the report as ``degraded_to_serial``.
+* **result validation** — every simulated curve is sanity-checked
+  (sizes match the schedule, times positive and finite) before it is
+  returned or cached, so a corrupted worker result can never poison
+  the content-addressed cache.
+* **cache-write tolerance** — a full disk or permission error while
+  storing a curve is downgraded to a warning plus a report event; the
+  results of the run are unaffected.
+
+Failures are observable: :class:`RunReport` carries per-sweep
+``attempts``/``timed_out`` and a list of :class:`ExecEvent`, all shown
+by :meth:`RunReport.render`.  Deterministic fault *injection* for
+exercising these paths lives in :mod:`repro.faults` and enters through
+the ``fault_plan=`` hook — a single ``is not None`` check when unused.
+
+Environment knobs: ``$REPRO_EXEC_WORKERS`` (worker count),
+``$REPRO_EXEC_TIMEOUT`` (seconds per sweep attempt),
+``$REPRO_EXEC_RETRIES`` (extra attempts per sweep), and
+``$REPRO_SWEEP_CACHE`` (default cache directory, see
+:mod:`repro.exec.cache`).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Sequence
+from math import isfinite
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pingpong import measure_sweep
 from repro.core.results import NetPipePoint, NetPipeResult
@@ -34,19 +69,68 @@ from repro.hw.cluster import ClusterConfig
 from repro.mplib.base import MPLibrary
 from repro.sim import Engine
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_EXEC_WORKERS"
+#: Environment variable setting the default per-sweep timeout (seconds).
+TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT"
+#: Environment variable setting the default retry budget per sweep.
+RETRIES_ENV = "REPRO_EXEC_RETRIES"
+
+#: Extra attempts per sweep when neither ``retries=`` nor the env var says.
+DEFAULT_RETRIES = 2
+#: First backoff delay (seconds); doubles on every further retry.
+DEFAULT_BACKOFF = 0.05
+
+
+class SweepExecutionError(RuntimeError):
+    """A sweep kept failing after its whole retry budget was spent."""
+
+
+def _env_int(name: str, default: int, minimum: int) -> int:
+    """An integer environment override with a clear failure message."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"${name} must be an integer >= {minimum}, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"${name} must be >= {minimum}, got {value}")
+    return value
 
 
 def default_workers() -> int:
     """Worker count from ``$REPRO_EXEC_WORKERS``, defaulting to 1."""
-    raw = os.environ.get(WORKERS_ENV, "").strip()
+    return _env_int(WORKERS_ENV, default=1, minimum=1)
+
+
+def default_timeout() -> float | None:
+    """Per-sweep seconds from ``$REPRO_EXEC_TIMEOUT`` (None = no limit)."""
+    raw = os.environ.get(TIMEOUT_ENV, "").strip()
     if not raw:
-        return 1
-    workers = int(raw)
-    if workers < 1:
-        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {workers}")
-    return workers
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"${TIMEOUT_ENV} must be a number of seconds > 0, got {raw!r}"
+        ) from None
+    if not (value > 0 and isfinite(value)):
+        raise ValueError(
+            f"${TIMEOUT_ENV} must be a number of seconds > 0, got {raw!r}"
+        )
+    return value
+
+
+def default_retries() -> int:
+    """Retry budget from ``$REPRO_EXEC_RETRIES`` (default 2, 0 = one shot)."""
+    return _env_int(RETRIES_ENV, default=DEFAULT_RETRIES, minimum=0)
 
 
 @dataclass(frozen=True)
@@ -83,8 +167,24 @@ class SweepStats:
     label: str
     fingerprint: str  # "" when no cache was consulted (hash not computed)
     cached: bool
-    elapsed: float  # wall seconds (0.0 for cache hits)
+    elapsed: float  # wall seconds of the winning attempt (0.0 for cache hits)
     events_processed: int  # engine events (0 for cache hits)
+    attempts: int = 1  # total attempts, including abandoned/failed ones
+    timed_out: bool = False  # True if any attempt blew the deadline
+
+
+@dataclass(frozen=True)
+class ExecEvent:
+    """One notable executor incident (failure, timeout, degradation)."""
+
+    label: str  # sweep label, or "<pool>" for pool-wide incidents
+    attempt: int
+    kind: str  # "fault" | "timeout" | "corrupt-result" | "pool-broken" | "cache-write-failed"
+    detail: str
+
+    def render(self) -> str:
+        """One human-readable log line."""
+        return f"[{self.kind}] {self.label} attempt {self.attempt}: {self.detail}"
 
 
 @dataclass
@@ -93,6 +193,8 @@ class RunReport:
 
     workers: int
     stats: list[SweepStats] = field(default_factory=list)
+    events: list[ExecEvent] = field(default_factory=list)
+    degraded_to_serial: bool = False
 
     @property
     def sweeps_simulated(self) -> int:
@@ -101,6 +203,7 @@ class RunReport:
 
     @property
     def cache_hits(self) -> int:
+        """How many sweeps were answered from the cache."""
         return sum(1 for s in self.stats if s.cached)
 
     @property
@@ -113,7 +216,18 @@ class RunReport:
         """Summed per-sweep wall time (CPU-seconds of simulation)."""
         return sum(s.elapsed for s in self.stats)
 
+    @property
+    def retries_performed(self) -> int:
+        """Total extra attempts beyond the first, across all sweeps."""
+        return sum(s.attempts - 1 for s in self.stats)
+
+    @property
+    def timeouts(self) -> int:
+        """How many sweeps had at least one attempt blow the deadline."""
+        return sum(1 for s in self.stats if s.timed_out)
+
     def render(self) -> str:
+        """Multi-line human-readable report (one line per sweep/event)."""
         lines = [
             f"executor report: {len(self.stats)} sweeps, "
             f"{self.sweeps_simulated} simulated, {self.cache_hits} cached, "
@@ -121,24 +235,52 @@ class RunReport:
         ]
         for s in self.stats:
             source = "cache" if s.cached else f"{s.elapsed * 1e3:8.1f} ms"
+            flags = ""
+            if s.attempts > 1:
+                flags += f"  x{s.attempts} attempts"
+            if s.timed_out:
+                flags += "  TIMEOUT"
             lines.append(
                 f"  {s.label:28s} {source:>10s}  "
-                f"{s.events_processed:>9d} events  {s.fingerprint[:12]}"
+                f"{s.events_processed:>9d} events  {s.fingerprint[:12]}{flags}"
             )
         lines.append(
             f"  total: {self.events_processed} events in "
             f"{self.sim_seconds * 1e3:.1f} ms of simulation"
         )
+        if self.degraded_to_serial:
+            lines.append(
+                "  process pool broke; unfinished sweeps re-run serially"
+            )
+        for event in self.events:
+            lines.append(f"  {event.render()}")
         return "\n".join(lines)
 
 
-def _run_sweep(request: SweepRequest) -> tuple[NetPipeResult, int, float]:
+def _run_sweep(
+    request: SweepRequest,
+    attempt: int = 0,
+    plan: "FaultPlan | None" = None,
+    allow_crash: bool = False,
+) -> tuple[NetPipeResult, int, float]:
     """Execute one sweep on a fresh engine (also the pool worker).
+
+    ``attempt`` numbers retries of the same request; together with the
+    optional fault ``plan`` it makes injected failures deterministic
+    (see :mod:`repro.faults`).  With ``plan=None`` — every production
+    call — the fault hook is a single comparison.
 
     Returns ``(result, events_processed, elapsed_wall_seconds)``.
     """
-    sizes = request.sizes if request.sizes is not None else netpipe_sizes()
     t0 = time.perf_counter()
+    spec = plan.action_for(request.label, attempt) if plan is not None else None
+    if spec is not None:
+        # Injected hangs must count against the attempt's wall time,
+        # or the serial after-the-fact timeout check could never fire.
+        from repro.faults.inject import apply_pre_fault
+
+        apply_pre_fault(spec, allow_crash)
+    sizes = request.sizes if request.sizes is not None else netpipe_sizes()
     engine = Engine()
     a, b = request.library.build(engine, request.config)
     samples = measure_sweep(engine, a, b, sizes, repeats=request.repeats)
@@ -148,7 +290,220 @@ def _run_sweep(request: SweepRequest) -> tuple[NetPipeResult, int, float]:
         config=request.config.describe(),
         points=[NetPipePoint(size=s, oneway_time=t) for s, t in samples],
     )
+    if spec is not None:
+        from repro.faults.inject import apply_post_fault
+
+        result = apply_post_fault(spec, result)
     return result, engine.events_processed, elapsed
+
+
+def _validate_result(request: SweepRequest, result: NetPipeResult) -> str | None:
+    """Why ``result`` cannot be the curve for ``request`` (None if it can).
+
+    The checks are necessary conditions any genuine sweep satisfies —
+    one point per scheduled size, in schedule order, with positive
+    finite times — so a corrupted or truncated worker result is caught
+    here instead of being returned to the caller or written into the
+    content-addressed cache.
+    """
+    sizes = request.sizes if request.sizes is not None else netpipe_sizes()
+    if len(result.points) != len(sizes):
+        return (
+            f"expected {len(sizes)} points for the size schedule, "
+            f"got {len(result.points)}"
+        )
+    for point, size in zip(result.points, sizes):
+        if point.size != size:
+            return f"point size {point.size} does not match schedule size {size}"
+        if not (isfinite(point.oneway_time) and point.oneway_time > 0):
+            return (
+                f"non-physical one-way time {point.oneway_time!r} "
+                f"at size {point.size}"
+            )
+    return None
+
+
+#: One successful sweep: (result, engine events, elapsed, attempts, timed_out).
+_Outcome = tuple[NetPipeResult, int, float, int, bool]
+
+
+def _run_with_retries(
+    request: SweepRequest,
+    plan: "FaultPlan | None",
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    report: RunReport,
+    first_attempt: int = 0,
+) -> _Outcome:
+    """Serial in-process execution of one sweep with the retry policy.
+
+    Used for ``max_workers=1`` and for the serial-degradation path
+    after a pool break (``first_attempt`` then continues the pool's
+    attempt numbering, so a deterministic fault plan is not replayed).
+    A timeout cannot preempt an in-process attempt; an overrun is
+    detected afterwards, the attempt discarded, and the sweep retried.
+    """
+    attempt = first_attempt
+    timed_out = False
+    while True:
+        cause: Exception | None = None
+        try:
+            result, events, elapsed = _run_sweep(
+                request, attempt, plan, allow_crash=False
+            )
+        except Exception as exc:
+            cause = exc
+            kind, detail = "fault", f"{type(exc).__name__}: {exc}"
+        else:
+            problem = _validate_result(request, result)
+            if problem is None and (timeout is None or elapsed <= timeout):
+                return result, events, elapsed, attempt + 1, timed_out
+            if problem is not None:
+                kind, detail = "corrupt-result", problem
+            else:
+                timed_out = True
+                kind, detail = (
+                    "timeout",
+                    f"attempt ran {elapsed:.3f}s, past the {timeout:.3g}s deadline",
+                )
+        report.events.append(
+            ExecEvent(label=request.label, attempt=attempt, kind=kind,
+                      detail=detail)
+        )
+        if attempt - first_attempt >= retries:
+            raise SweepExecutionError(
+                f"sweep {request.label!r} failed after {attempt + 1} "
+                f"attempt(s): {detail}"
+            ) from cause
+        time.sleep(backoff * (2 ** (attempt - first_attempt)))
+        attempt += 1
+
+
+def _execute_pool(
+    requests: Sequence[SweepRequest],
+    pending: Sequence[int],
+    plan: "FaultPlan | None",
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    max_workers: int,
+    report: RunReport,
+) -> dict[int, _Outcome]:
+    """Run the pending sweeps on a process pool with the retry policy.
+
+    Timed-out attempts are abandoned (their future is dropped; the
+    worker finishes or dies on its own) and resubmitted.  A broken
+    pool — a worker crashed hard — aborts parallel execution and every
+    unfinished sweep is re-run serially in-process, which is slower
+    but cannot be killed by a bad worker.
+    """
+    outcomes: dict[int, _Outcome] = {}
+    attempts_started = {i: 0 for i in pending}
+    timed_out_flags = {i: False for i in pending}
+
+    def fail_attempt(index: int, attempt: int, kind: str, detail: str,
+                     cause: Exception | None) -> bool:
+        """Record a failed attempt; True if the sweep may be retried."""
+        report.events.append(
+            ExecEvent(label=requests[index].label, attempt=attempt,
+                      kind=kind, detail=detail)
+        )
+        if attempts_started[index] >= retries + 1:
+            raise SweepExecutionError(
+                f"sweep {requests[index].label!r} failed after "
+                f"{attempts_started[index]} attempt(s): {detail}"
+            ) from cause
+        time.sleep(backoff * (2 ** (attempts_started[index] - 1)))
+        return True
+
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            active: dict[Future, tuple[int, int, float]] = {}
+
+            def submit(index: int) -> None:
+                attempt = attempts_started[index]
+                attempts_started[index] += 1
+                future = pool.submit(
+                    _run_sweep, requests[index], attempt, plan, True
+                )
+                active[future] = (index, attempt, time.monotonic())
+
+            for i in pending:
+                submit(i)
+            while active:
+                wait_for = None
+                if timeout is not None:
+                    now = time.monotonic()
+                    wait_for = max(
+                        0.0,
+                        min(started + timeout for (_, _, started)
+                            in active.values()) - now,
+                    )
+                done, _ = wait(
+                    set(active), timeout=wait_for,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    index, attempt, _started = active.pop(future)
+                    try:
+                        result, events, elapsed = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        if fail_attempt(index, attempt, "fault",
+                                        f"{type(exc).__name__}: {exc}", exc):
+                            submit(index)
+                        continue
+                    problem = _validate_result(requests[index], result)
+                    if problem is not None:
+                        if fail_attempt(index, attempt, "corrupt-result",
+                                        problem, None):
+                            submit(index)
+                        continue
+                    outcomes[index] = (
+                        result, events, elapsed,
+                        attempts_started[index], timed_out_flags[index],
+                    )
+                if timeout is not None:
+                    now = time.monotonic()
+                    for future, (index, attempt, started) in list(active.items()):
+                        if now - started <= timeout or future.done():
+                            continue
+                        # Abandon the attempt: a queued future is
+                        # cancelled outright, a running worker is left
+                        # to finish into the void.
+                        del active[future]
+                        future.cancel()
+                        timed_out_flags[index] = True
+                        if fail_attempt(
+                            index, attempt, "timeout",
+                            f"no result within the {timeout:.3g}s deadline",
+                            None,
+                        ):
+                            submit(index)
+    except BrokenProcessPool as exc:
+        report.degraded_to_serial = True
+        unfinished = [i for i in pending if i not in outcomes]
+        report.events.append(
+            ExecEvent(
+                label="<pool>", attempt=0, kind="pool-broken",
+                detail=(
+                    f"{type(exc).__name__}: a worker died; re-running "
+                    f"{len(unfinished)} unfinished sweep(s) serially"
+                ),
+            )
+        )
+        for i in unfinished:
+            result, events, elapsed, attempts, timed_out = _run_with_retries(
+                requests[i], plan, timeout, retries, backoff, report,
+                first_attempt=attempts_started[i],
+            )
+            outcomes[i] = (
+                result, events, elapsed, attempts,
+                timed_out or timed_out_flags[i],
+            )
+    return outcomes
 
 
 def execute_sweeps(
@@ -156,8 +511,12 @@ def execute_sweeps(
     max_workers: int | None = None,
     cache: SweepCache | None = None,
     salt: str = "",
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> tuple[list[NetPipeResult], RunReport]:
-    """Run many sweeps, parallel across processes, cache-aware.
+    """Run many sweeps, parallel across processes, cache-aware, fault-hard.
 
     :param requests: sweeps to run; results come back in this order.
     :param max_workers: process count; ``None`` reads
@@ -165,11 +524,32 @@ def execute_sweeps(
     :param cache: optional sweep cache; ``None`` falls back to
         ``$REPRO_SWEEP_CACHE`` when that is set.
     :param salt: extra fingerprint salt (study-specific invalidation).
+    :param timeout: seconds one sweep attempt may take; ``None`` reads
+        ``$REPRO_EXEC_TIMEOUT`` (unset = unlimited).
+    :param retries: extra attempts per sweep after a failure/timeout;
+        ``None`` reads ``$REPRO_EXEC_RETRIES`` (default 2).
+    :param backoff: first retry delay in seconds, doubling per retry
+        (default ``DEFAULT_BACKOFF``).
+    :param fault_plan: deterministic failure injection for tests (see
+        :mod:`repro.faults`); ``None`` — the production value — makes
+        every fault hook a single comparison.
+
+    :raises SweepExecutionError: when a sweep still fails after its
+        whole retry budget (never for a mere worker crash, which
+        degrades to serial execution instead).
     """
     if max_workers is None:
         max_workers = default_workers()
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+    if timeout is None:
+        timeout = default_timeout()
+    if retries is None:
+        retries = default_retries()
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff is None:
+        backoff = DEFAULT_BACKOFF
     if cache is None:
         cache = SweepCache.from_env()
 
@@ -201,12 +581,19 @@ def execute_sweeps(
 
     if pending:
         if max_workers == 1 or len(pending) == 1:
-            outcomes = [_run_sweep(requests[i]) for i in pending]
+            outcomes = {
+                i: _run_with_retries(
+                    requests[i], fault_plan, timeout, retries, backoff, report
+                )
+                for i in pending
+            }
         else:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [pool.submit(_run_sweep, requests[i]) for i in pending]
-                outcomes = [f.result() for f in futures]
-        for i, (result, events, elapsed) in zip(pending, outcomes):
+            outcomes = _execute_pool(
+                requests, pending, fault_plan, timeout, retries, backoff,
+                max_workers, report,
+            )
+        for i in pending:
+            result, events, elapsed, attempts, timed_out = outcomes[i]
             results[i] = result
             stats[i] = SweepStats(
                 label=requests[i].label,
@@ -214,9 +601,17 @@ def execute_sweeps(
                 cached=False,
                 elapsed=elapsed,
                 events_processed=events,
+                attempts=attempts,
+                timed_out=timed_out,
             )
-            if cache is not None:
-                cache.put(fingerprints[i], result)
+            if cache is not None and cache.try_put(fingerprints[i], result) is None:
+                report.events.append(
+                    ExecEvent(
+                        label=requests[i].label, attempt=attempts - 1,
+                        kind="cache-write-failed",
+                        detail="cache write failed; see warning for the cause",
+                    )
+                )
 
     report.stats = [s for s in stats if s is not None]
     return [r for r in results if r is not None], report

@@ -19,6 +19,7 @@ from repro.mplib.base import MPLibrary
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.cache import SweepCache
     from repro.exec.scheduler import RunReport, SweepRequest
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,9 @@ class Experiment:
         repeats: int = 1,
         max_workers: int | None = None,
         cache: "SweepCache | None" = None,
+        timeout: float | None = None,
+        retries: int | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> tuple[dict[str, NetPipeResult], "RunReport"]:
         """All curves plus the executor's provenance/timing report.
 
@@ -92,13 +96,19 @@ class Experiment:
         :mod:`repro.exec` process pool when ``max_workers`` (or
         ``$REPRO_EXEC_WORKERS``) exceeds 1; previously computed curves
         come from ``cache`` (or ``$REPRO_SWEEP_CACHE``) without any
-        simulation.  The report says which path each curve took.
+        simulation.  ``timeout``/``retries`` bound how long a stuck
+        sweep may stall the figure (defaults: ``$REPRO_EXEC_TIMEOUT``,
+        ``$REPRO_EXEC_RETRIES``), and ``fault_plan`` injects
+        deterministic failures for the chaos tests
+        (:mod:`repro.faults`).  The report says which path each curve
+        took and every incident along the way.
         """
         from repro.exec.scheduler import execute_sweeps
 
         requests = self.sweep_requests(sizes=sizes, repeats=repeats)
         results, report = execute_sweeps(
-            requests, max_workers=max_workers, cache=cache
+            requests, max_workers=max_workers, cache=cache,
+            timeout=timeout, retries=retries, fault_plan=fault_plan,
         )
         return (
             {req.label: result for req, result in zip(requests, results)},
@@ -111,10 +121,13 @@ class Experiment:
         repeats: int = 1,
         max_workers: int | None = None,
         cache: "SweepCache | None" = None,
+        timeout: float | None = None,
+        retries: int | None = None,
     ) -> dict[str, NetPipeResult]:
         """All curves of the figure, keyed by label."""
         results, _report = self.run_with_report(
-            sizes=sizes, repeats=repeats, max_workers=max_workers, cache=cache
+            sizes=sizes, repeats=repeats, max_workers=max_workers,
+            cache=cache, timeout=timeout, retries=retries,
         )
         return results
 

@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the sweep executor.
+
+The paper's curves are only trustworthy if the harness that produces
+them degrades predictably when workers misbehave.  This package lets
+the test suite *make* workers misbehave — deterministically, so every
+recovery path in :mod:`repro.exec.scheduler` can be asserted exactly:
+
+    from repro.faults import FaultKind, FaultPlan
+
+    plan = FaultPlan.single("MPICH", FaultKind.CRASH)
+    results, report = execute_sweeps(requests, fault_plan=plan)
+    assert report.degraded_to_serial
+
+:mod:`repro.faults.plan` describes *what* fails and when (pure data,
+picklable, seed-derived randomness only); :mod:`repro.faults.inject`
+performs the failure inside the worker.  Production runs never import
+the effects: with ``fault_plan=None`` the scheduler's hook is a single
+``is not None`` check.  See docs/TESTING.md for the chaos-test tier
+built on top of this.
+"""
+
+from repro.faults.inject import (
+    CRASH_EXIT_CODE,
+    FaultError,
+    InjectedFault,
+    InjectedWorkerCrash,
+    apply_post_fault,
+    apply_pre_fault,
+    corrupt_result,
+)
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+    "apply_post_fault",
+    "apply_pre_fault",
+    "corrupt_result",
+]

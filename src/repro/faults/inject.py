@@ -1,0 +1,86 @@
+"""Fault execution: turn a matched :class:`FaultSpec` into real trouble.
+
+This is the only module that *does* the injected damage — blocks on
+real time, mangles a result, or kills the worker process.  It is
+called from exactly one place, the top of
+:func:`repro.exec.scheduler._run_sweep`, behind a ``plan is not None``
+check, so the disabled path costs a single comparison.
+
+Crash semantics depend on where the sweep is running.  In a pool
+worker, :attr:`FaultKind.CRASH` calls ``os._exit`` so the scheduler
+sees a genuine ``BrokenProcessPool`` — the failure mode a segfaulting
+or OOM-killed worker produces.  In the main process (serial mode, or
+the serial degradation path after a pool break), exiting would kill
+the whole run, so the crash downgrades to an
+:class:`InjectedWorkerCrash` exception and rides the ordinary retry
+path instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.results import NetPipePoint, NetPipeResult
+from repro.faults.plan import FaultKind, FaultSpec
+
+#: Exit status a CRASH fault kills its worker with (distinctive in logs).
+CRASH_EXIT_CODE = 43
+
+
+class FaultError(RuntimeError):
+    """Base class for every injected failure."""
+
+
+class InjectedFault(FaultError):
+    """The transient exception a :attr:`FaultKind.RAISE` spec throws."""
+
+
+class InjectedWorkerCrash(FaultError):
+    """A CRASH fault fired where killing the process is not allowed."""
+
+
+def corrupt_result(result: NetPipeResult) -> NetPipeResult:
+    """A recognisably-damaged copy of ``result``.
+
+    Every one-way time is negated, which no real sweep can produce and
+    the scheduler's result validation always rejects — so a corruption
+    is guaranteed to be *caught*, never silently cached.
+    """
+    return NetPipeResult(
+        library=result.library,
+        config=result.config,
+        points=[
+            NetPipePoint(size=p.size, oneway_time=-p.oneway_time)
+            for p in result.points
+        ],
+    )
+
+
+def apply_pre_fault(spec: FaultSpec, allow_crash: bool) -> None:
+    """Run ``spec``'s before-simulation effect (raise, hang, or crash).
+
+    :attr:`FaultKind.CORRUPT` has no pre-effect; see
+    :func:`apply_post_fault`.  ``allow_crash`` is True only inside a
+    pool worker, where dying is survivable for the run as a whole.
+    """
+    if spec.kind is FaultKind.RAISE:
+        raise InjectedFault(
+            f"injected transient fault on {spec.label!r}"
+        )
+    if spec.kind is FaultKind.HANG:
+        time.sleep(spec.hang_seconds)
+    elif spec.kind is FaultKind.CRASH:
+        if allow_crash:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedWorkerCrash(
+            f"injected worker crash on {spec.label!r} "
+            "(downgraded to an exception outside a pool worker)"
+        )
+
+
+def apply_post_fault(spec: FaultSpec, result: NetPipeResult) -> NetPipeResult:
+    """Run ``spec``'s after-simulation effect (corruption), if any."""
+    if spec.kind is FaultKind.CORRUPT:
+        return corrupt_result(result)
+    return result

@@ -1,0 +1,162 @@
+"""Deterministic fault plans: *what* goes wrong, *when*, on purpose.
+
+A :class:`FaultPlan` is a picklable description of the failures to
+inject into a sweep batch — which sweep (by label), which failure mode
+(:class:`FaultKind`), and for how many attempts.  Plans are pure data:
+given the same plan, the same label, and the same attempt number, the
+injected fault is always the same, which is what lets the chaos tests
+in ``tests/test_exec_faults.py`` assert exact recovery behaviour.
+
+Two ways to build a plan:
+
+* explicitly, from :class:`FaultSpec` entries — ``FaultPlan.single``
+  and the tuple constructor; each spec covers a *window* of attempts,
+  so ``(crash ×1, raise ×2)`` on one label means attempt 0 crashes,
+  attempts 1-2 raise, attempt 3 runs clean;
+* pseudo-randomly but reproducibly, via :meth:`FaultPlan.seeded`,
+  which derives every choice from a SHA-256 over ``(seed, label)`` —
+  no process-global RNG state, so the same seed always injects the
+  same faults regardless of platform or ``PYTHONHASHSEED``.
+
+The plan never *executes* anything; :mod:`repro.faults.inject` turns a
+matched spec into an actual raise/hang/corruption/crash inside
+:func:`repro.exec.scheduler._run_sweep`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class FaultKind(enum.Enum):
+    """The four failure modes a worker can be made to exhibit."""
+
+    #: Raise a transient :class:`~repro.faults.inject.InjectedFault`.
+    RAISE = "raise"
+    #: Block past the scheduler's per-sweep deadline before computing.
+    HANG = "hang"
+    #: Return a result that fails the scheduler's sanity validation.
+    CORRUPT = "corrupt"
+    #: Kill the worker process outright (``os._exit``), breaking the pool.
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected failure: ``kind`` on ``label`` for ``times`` attempts.
+
+    ``times`` is a *window width*: specs for the same label stack in
+    plan order, each consuming the next ``times`` attempt numbers, so
+    recovery (a clean attempt after the windows are spent) is always
+    reachable by retrying.  ``hang_seconds`` only matters for
+    :attr:`FaultKind.HANG`.
+    """
+
+    label: str
+    kind: FaultKind
+    times: int = 1
+    hang_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.hang_seconds <= 0:
+            raise ValueError(
+                f"hang_seconds must be > 0, got {self.hang_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable collection of :class:`FaultSpec` windows.
+
+    The plan crosses the process-pool boundary with every task, so it
+    must stay plain data.  An empty plan is falsy and injects nothing.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"not a FaultSpec: {spec!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def single(
+        cls,
+        label: str,
+        kind: FaultKind,
+        times: int = 1,
+        hang_seconds: float = 5.0,
+    ) -> "FaultPlan":
+        """A plan injecting one failure mode into one sweep."""
+        return cls(
+            (FaultSpec(label=label, kind=kind, times=times,
+                       hang_seconds=hang_seconds),)
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        labels: Iterable[str],
+        seed: int,
+        kinds: Sequence[FaultKind] = (FaultKind.RAISE,),
+        rate: float = 0.5,
+        times: int = 1,
+        hang_seconds: float = 5.0,
+    ) -> "FaultPlan":
+        """Deterministic pseudo-random plan over ``labels``.
+
+        Each label independently draws from ``SHA-256(seed | label)``:
+        the first byte decides *whether* it faults (probability
+        ``rate``), the second picks the kind from ``kinds``.  No
+        global RNG is consulted, so the plan is identical across
+        processes, platforms, and hash seeds.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ValueError("kinds must not be empty")
+        specs = []
+        for label in labels:
+            digest = hashlib.sha256(f"{seed}|{label}".encode("utf-8")).digest()
+            if digest[0] / 255.0 < rate:
+                kind = kinds[digest[1] % len(kinds)]
+                specs.append(
+                    FaultSpec(label=label, kind=kind, times=times,
+                              hang_seconds=hang_seconds)
+                )
+        return cls(tuple(specs))
+
+    def action_for(self, label: str, attempt: int) -> FaultSpec | None:
+        """The fault to inject on ``label``'s attempt ``attempt``, if any.
+
+        Specs matching ``label`` stack in plan order: the first covers
+        attempts ``[0, times)``, the next ``[times, times + times')``,
+        and so on.  Past the last window the sweep runs clean — which
+        is what makes every injected failure recoverable by retrying.
+        """
+        start = 0
+        for spec in self.specs:
+            if spec.label != label:
+                continue
+            if attempt < start + spec.times:
+                return spec
+            start += spec.times
+        return None
+
+    def labels(self) -> list[str]:
+        """The distinct sweep labels this plan targets, in plan order."""
+        seen: list[str] = []
+        for spec in self.specs:
+            if spec.label not in seen:
+                seen.append(spec.label)
+        return seen

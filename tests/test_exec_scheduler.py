@@ -111,6 +111,17 @@ def test_workers_env_override(monkeypatch):
         default_workers()
 
 
+def test_workers_env_non_integer_names_the_variable(monkeypatch):
+    """$REPRO_EXEC_WORKERS=auto must fail with a message, not a bare int()."""
+    from repro.exec.scheduler import WORKERS_ENV, default_workers
+
+    monkeypatch.setenv(WORKERS_ENV, "auto")
+    with pytest.raises(ValueError, match=r"REPRO_EXEC_WORKERS.*'auto'"):
+        default_workers()
+    monkeypatch.setenv(WORKERS_ENV, " 4 ")  # whitespace still parses
+    assert default_workers() == 4
+
+
 def test_report_render_names_every_sweep(tmp_path):
     cache = SweepCache(tmp_path)
     FIG1.run(sizes=SIZES, cache=cache)

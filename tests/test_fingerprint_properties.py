@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the sweep-fingerprint contract.
+
+The content-addressed cache is only safe if fingerprints behave like
+true content hashes: equal inputs collide, different ``repeats`` or
+``sizes`` never do, and the digest is identical in every process —
+including processes with a different ``PYTHONHASHSEED``, where any
+accidental reliance on ``hash()`` ordering would show up immediately.
+On top of that, ``execute_sweeps`` must be request-order independent:
+the batch is a *set* of sweeps, and each label's curve cannot depend
+on where in the list it was asked for.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec import SweepRequest, execute_sweeps, sweep_fingerprint
+from repro.experiments import configs
+from repro.mplib import Mpich, MpLite, Pvm, RawTcp
+
+pytestmark = pytest.mark.exec_smoke
+
+CFG = configs.pc_netgear_ga620()
+#: A few sizes are enough: these properties are about identity, not curves.
+TINY = (1, 64, 1024)
+
+LIBS = {
+    "tcp": RawTcp,
+    "mpich": lambda: Mpich.tuned(),
+    "mplite": MpLite,
+    "pvm": lambda: Pvm.tuned(),
+}
+
+
+def _baseline():
+    requests = [
+        SweepRequest(label, make(), CFG, sizes=TINY)
+        for label, make in LIBS.items()
+    ]
+    results, _ = execute_sweeps(requests)
+    return {
+        r.label: [(p.size, p.oneway_time) for p in res.points]
+        for r, res in zip(requests, results)
+    }
+
+
+BASELINE = None
+
+
+@given(order=st.permutations(sorted(LIBS)))
+@settings(max_examples=10, deadline=None)
+def test_results_are_request_order_independent(order):
+    global BASELINE
+    if BASELINE is None:
+        BASELINE = _baseline()
+    requests = [
+        SweepRequest(label, LIBS[label](), CFG, sizes=TINY) for label in order
+    ]
+    results, report = execute_sweeps(requests)
+    assert [s.label for s in report.stats] == list(order)
+    for request, result in zip(requests, results):
+        got = [(p.size, p.oneway_time) for p in result.points]
+        assert got == BASELINE[request.label], request.label
+
+
+sizes_strategy = st.lists(
+    st.integers(min_value=1, max_value=1 << 20),
+    min_size=1, max_size=8, unique=True,
+).map(lambda xs: tuple(sorted(xs)))
+
+
+@given(
+    repeats_a=st.integers(min_value=1, max_value=4),
+    repeats_b=st.integers(min_value=1, max_value=4),
+    sizes_a=sizes_strategy,
+    sizes_b=sizes_strategy,
+)
+@settings(max_examples=60, deadline=None)
+def test_fingerprint_is_injective_over_repeats_and_sizes(
+    repeats_a, repeats_b, sizes_a, sizes_b
+):
+    fp_a = sweep_fingerprint(RawTcp(), CFG, sizes_a, repeats_a)
+    fp_b = sweep_fingerprint(RawTcp(), CFG, sizes_b, repeats_b)
+    if (repeats_a, sizes_a) == (repeats_b, sizes_b):
+        assert fp_a == fp_b
+    else:
+        assert fp_a != fp_b
+
+
+@given(repeats=st.integers(min_value=1, max_value=4), sizes=sizes_strategy)
+@settings(max_examples=30, deadline=None)
+def test_fingerprint_is_pure(repeats, sizes):
+    # Recomputation in the same process is exact — no hidden state.
+    assert sweep_fingerprint(RawTcp(), CFG, sizes, repeats) == sweep_fingerprint(
+        RawTcp(), CFG, sizes, repeats
+    )
+
+
+def _fingerprint_in_subprocess(hash_seed: str) -> str:
+    """One fingerprint computed by a fresh interpreter."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    code = (
+        "from repro.exec import sweep_fingerprint\n"
+        "from repro.experiments import configs\n"
+        "from repro.mplib import Mpich\n"
+        "print(sweep_fingerprint(Mpich.tuned(), configs.pc_netgear_ga620(), "
+        "(1, 64, 1024), 3, salt='xproc'))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    env["PYTHONHASHSEED"] = hash_seed
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return out.stdout.strip()
+
+
+def test_fingerprint_round_trips_across_processes():
+    local = sweep_fingerprint(
+        Mpich.tuned(), configs.pc_netgear_ga620(), (1, 64, 1024), 3,
+        salt="xproc",
+    )
+    # Two different hash seeds: any dict/set-order dependence would
+    # produce a different canonical form in at least one of them.
+    assert _fingerprint_in_subprocess("0") == local
+    assert _fingerprint_in_subprocess("424242") == local

@@ -1,0 +1,136 @@
+"""Golden-curve regression tier: figures 1-5 are pinned by digest.
+
+Every curve of every paper figure, at the default NetPIPE schedule, is
+hashed with the executor's canonical-walk machinery
+(:func:`repro.exec.canonicalize` -> SHA-256) and compared against
+``tests/golden_curves.json``.  Any change to the simulated model — an
+edited overhead constant, a reordered protocol step, a float that
+drifts through refactoring — changes a digest and fails tier-1 with a
+message naming exactly which figure and curve moved.
+
+Intentional model changes must re-pin the goldens:
+
+    PYTHONPATH=src python tests/test_golden_curves.py --regen
+
+and the diff of ``golden_curves.json`` then *is* the review artifact —
+a reviewer sees precisely which curves a model edit touched.  See
+docs/TESTING.md.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec import canonicalize
+from repro.experiments import ALL_FIGURES
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_curves.json"
+REGEN_HINT = (
+    "If the model change is intentional, re-pin with:\n"
+    "    PYTHONPATH=src python tests/test_golden_curves.py --regen\n"
+    "and include the golden_curves.json diff in the review."
+)
+
+
+def curve_digest(result) -> str:
+    """SHA-256 over the canonical form of one NetPipeResult.
+
+    The canonical walk reprs every float exactly, so the digest moves
+    iff some point of the curve (or its metadata) moves.
+    """
+    return hashlib.sha256(canonicalize(result).encode("utf-8")).hexdigest()
+
+
+def compute_digests() -> dict:
+    """fig id -> {label -> digest} over all five figures, default sizes."""
+    return {
+        fig.id: {
+            label: curve_digest(result)
+            for label, result in fig.run().items()
+        }
+        for fig in ALL_FIGURES
+    }
+
+
+def load_golden() -> dict:
+    """The pinned digests (skips the tier if the file is absent)."""
+    if not GOLDEN_PATH.exists():  # pragma: no cover - regen bootstrap only
+        pytest.skip(f"{GOLDEN_PATH.name} not generated yet")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Parsed golden file, shared across the module's tests."""
+    return load_golden()
+
+
+@pytest.fixture(scope="module")
+def current():
+    """Freshly computed digests, shared across the module's tests."""
+    return compute_digests()
+
+
+def test_golden_file_covers_every_figure_and_curve(golden):
+    expected = {fig.id: sorted(fig.labels()) for fig in ALL_FIGURES}
+    pinned = {
+        fig_id: sorted(curves) for fig_id, curves in golden["digests"].items()
+    }
+    assert pinned == expected, (
+        "golden_curves.json is out of sync with the figure definitions.\n"
+        + REGEN_HINT
+    )
+
+
+def test_no_silent_model_drift(golden, current):
+    drift = []
+    for fig_id, curves in golden["digests"].items():
+        for label, want in curves.items():
+            got = current.get(fig_id, {}).get(label)
+            if got != want:
+                drift.append(
+                    f"  {fig_id} / {label}:\n"
+                    f"    - pinned  {want}\n"
+                    f"    + current {got}"
+                )
+    assert not drift, (
+        "model drift detected — these curves no longer match their pinned "
+        "digests:\n" + "\n".join(drift) + "\n" + REGEN_HINT
+    )
+
+
+def test_digests_are_process_stable(golden):
+    # Recomputing one figure must reproduce the pinned digests exactly —
+    # the digest depends only on the curve, not on run order or warm-up.
+    fig = ALL_FIGURES[0]
+    again = {label: curve_digest(r) for label, r in fig.run().items()}
+    assert again == golden["digests"][fig.id]
+
+
+def _regen() -> None:
+    """Rewrite golden_curves.json from the current model (reviewed diff)."""
+    document = {
+        "_comment": (
+            "Pinned SHA-256 digests of every figure curve at the default "
+            "NetPIPE schedule. Regenerate via "
+            "'PYTHONPATH=src python tests/test_golden_curves.py --regen' "
+            "and review the diff. See docs/TESTING.md."
+        ),
+        "schedule": "default",
+        "digests": compute_digests(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    total = sum(len(v) for v in document["digests"].values())
+    print(f"pinned {total} curves into {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
+        sys.exit(2)
