@@ -1,0 +1,122 @@
+"""Bench: the null-recorder hot path stays under its 2% budget.
+
+The obs hooks are ``if obs.enabled:`` checks against the class-level
+``False`` of :data:`repro.obs.NULL_RECORDER`.  This bench makes the
+"zero-overhead-when-off" claim quantitative and machine-independent:
+
+* time a cold figure-1-style raw-TCP sweep (the hot path the hooks
+  guard);
+* count exactly how many hook checks that sweep executes, by running
+  it once with a :class:`NullRecorder` whose ``enabled`` is a counting
+  property (same code path as untraced, every guard tallied);
+* time the check primitive itself in a tight loop (loop overhead
+  included — an overestimate);
+* assert ``checks x per-check < 2% of the sweep``.
+
+Both sides of the comparison scale with the host's single-core speed,
+so the assertion holds on fast and slow machines alike.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.core.pingpong import measure_sweep
+from repro.core.sizes import netpipe_sizes
+from repro.experiments import configs
+from repro.mplib import get_library
+from repro.obs import NULL_RECORDER, NullRecorder, Recorder
+from repro.sim import Engine
+
+GA620 = configs.pc_netgear_ga620()
+
+#: The enforced ceiling: hook checks may cost at most this fraction of
+#: an untraced sweep.
+OVERHEAD_BUDGET = 0.02
+
+
+class _CountingNull(NullRecorder):
+    """A disabled recorder that tallies every ``obs.enabled`` guard."""
+
+    def __init__(self):
+        """Start with zero observed guard checks."""
+        self.checks = 0
+
+    @property
+    def enabled(self):
+        """Always ``False`` — but count the lookup."""
+        self.checks += 1
+        return False
+
+
+def _sweep(obs=None):
+    """One cold raw-TCP NetPIPE sweep; returns wall seconds."""
+    engine = Engine(obs=obs)
+    a, b = get_library("raw-tcp").build(engine, GA620)
+    t0 = time.perf_counter()
+    measure_sweep(engine, a, b, netpipe_sizes())
+    return time.perf_counter() - t0
+
+
+def _hook_checks_per_sweep() -> int:
+    """Exact number of ``if obs.enabled`` checks one sweep executes.
+
+    The counting recorder returns ``False`` from every guard, so the
+    sweep follows the untraced code path bit for bit — each skipped
+    hook contributes exactly one tallied attribute lookup.
+    """
+    counting = _CountingNull()
+    _sweep(obs=counting)
+    assert counting.checks > 0
+    return counting.checks
+
+
+def _seconds_per_check(iterations: int = 2_000_000) -> float:
+    """Wall cost of one ``if obs.enabled`` check (loop overhead included)."""
+    obs = NULL_RECORDER
+    sink = 0
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        if obs.enabled:
+            sink += 1  # pragma: no cover - never taken
+    elapsed = time.perf_counter() - t0
+    assert sink == 0
+    return elapsed / iterations
+
+
+def test_bench_null_recorder_overhead_under_budget():
+    """checks-per-sweep x cost-per-check < 2% of the cold sweep."""
+    sweep_seconds = min(_sweep() for _ in range(3))
+    checks = _hook_checks_per_sweep()
+    per_check = _seconds_per_check()
+    hook_cost = checks * per_check
+    fraction = hook_cost / sweep_seconds
+    report(
+        "obs null-recorder overhead",
+        f"cold raw-TCP sweep      {1e3 * sweep_seconds:9.2f} ms\n"
+        f"hook checks per sweep   {checks:9d}\n"
+        f"cost per check          {1e9 * per_check:9.2f} ns\n"
+        f"total hook cost         {1e3 * hook_cost:9.3f} ms "
+        f"({100 * fraction:.3f}% of the sweep; budget "
+        f"{100 * OVERHEAD_BUDGET:.0f}%)",
+    )
+    assert fraction < OVERHEAD_BUDGET, (
+        f"null-recorder hooks cost {100 * fraction:.2f}% of a cold sweep, "
+        f"over the {100 * OVERHEAD_BUDGET:.0f}% budget"
+    )
+
+
+def test_traced_sweep_matches_untraced_time_exactly():
+    """Tracing changes wall cost, never simulated results: both engines
+    process identical event streams."""
+    untraced = Engine()
+    a, b = get_library("raw-tcp").build(untraced, GA620)
+    samples_off = measure_sweep(untraced, a, b, netpipe_sizes())
+    rec = Recorder()
+    traced = Engine(obs=rec)
+    a, b = get_library("raw-tcp").build(traced, GA620)
+    samples_on = measure_sweep(traced, a, b, netpipe_sizes())
+    assert samples_on == samples_off
+    assert traced.events_processed == untraced.events_processed

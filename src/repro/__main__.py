@@ -12,6 +12,10 @@ Commands
 ``cpu``                  host-CPU availability per transport
 ``loopback``             live two-process NetPIPE over loopback TCP
 ``check``                determinism & cache-safety static analysis
+``trace``                record a Chrome/Perfetto protocol trace
+
+``figures``/``figure`` also accept ``--trace FILE`` to record the
+run's protocol events alongside the normal output.
 """
 
 from __future__ import annotations
@@ -27,25 +31,43 @@ def _sweep_cache(args: argparse.Namespace):
     return SweepCache(args.cache) if getattr(args, "cache", None) else None
 
 
+def _trace_path(template: str, fig_id: str, multi: bool) -> str:
+    """Per-figure trace file name (``trace.fig1.json`` when multi)."""
+    import os
+
+    if not multi:
+        return template
+    base, ext = os.path.splitext(template)
+    return f"{base}.{fig_id}{ext or '.json'}"
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Run figures (all or one) and audit their anchors."""
     from repro.core.report import format_comparison
     from repro.experiments import ALL_FIGURES
 
     cache = _sweep_cache(args)
+    trace_out = getattr(args, "trace", None)
+    figures = [f for f in ALL_FIGURES if not args.figure or f.id == args.figure]
     status = 0
-    for fig in ALL_FIGURES:
-        if args.figure and fig.id != args.figure:
-            continue
+    for fig in figures:
         print(f"\n{'=' * 78}\n{fig.title}\n{'=' * 78}")
         results, exec_report = fig.run_with_report(
             max_workers=args.workers, cache=cache,
             timeout=args.timeout, retries=args.retries,
+            trace=trace_out is not None,
         )
         print(format_comparison(results))
         print()
         print(exec_report.render())
         print()
+        if trace_out is not None:
+            from repro.obs import write_chrome_trace
+
+            path = _trace_path(trace_out, fig.id, len(figures) > 1)
+            write_chrome_trace(path, exec_report.traces)
+            print(f"  wrote protocol trace to {path}")
+            print()
         for row in fig.audit(results):
             print(" ", row.render())
             status |= 0 if row.ok else 1
@@ -180,6 +202,74 @@ def cmd_loopback(args: argparse.Namespace) -> int:
     return 0
 
 
+def _config_by_name(name: str):
+    """Resolve a cluster-config factory from :mod:`repro.experiments.configs`."""
+    from repro.experiments import configs
+
+    fn = getattr(configs, name, None)
+    if fn is None or not callable(fn) or name.startswith("_"):
+        valid = sorted(
+            n for n in dir(configs)
+            if not n.startswith("_") and callable(getattr(configs, n))
+        )
+        raise SystemExit(
+            f"unknown config {name!r}; known: {', '.join(valid)}"
+        )
+    return fn()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record a figure (or one ad-hoc sweep) as a Chrome/Perfetto trace."""
+    from repro.obs import merged, protocol_overhead, write_chrome_trace, write_jsonl
+
+    if args.target == "sweep":
+        from repro.exec.scheduler import SweepRequest, execute_sweeps
+        from repro.mplib import get_library
+
+        try:
+            library = get_library(args.library)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from None
+        config = _config_by_name(args.config)
+        requests = [
+            SweepRequest(
+                label=library.display_name, library=library, config=config
+            )
+        ]
+        _results, report = execute_sweeps(
+            requests, max_workers=args.workers,
+            timeout=args.timeout, retries=args.retries, trace=True,
+        )
+        pairs = [(library, config)]
+    else:
+        from repro.experiments import ALL_FIGURES
+
+        fig = next(f for f in ALL_FIGURES if f.id == args.target)
+        _results, report = fig.run_with_report(
+            max_workers=args.workers,
+            timeout=args.timeout, retries=args.retries, trace=True,
+        )
+        pairs = [(e.library, e.config) for e in fig.entries]
+    write_chrome_trace(args.out, report.traces)
+    total_spans = sum(len(r.spans) for r in report.traces.values())
+    print(
+        f"wrote {args.out}: {len(report.traces)} traced sweep(s), "
+        f"{total_spans} spans -- load it in ui.perfetto.dev or "
+        "chrome://tracing"
+    )
+    if args.jsonl:
+        write_jsonl(
+            args.jsonl,
+            merged(report.traces.values(), meta={"target": args.target}),
+        )
+        print(f"wrote {args.jsonl}")
+    if not args.no_summary:
+        for library, config in pairs:
+            print()
+            print(protocol_overhead(library, config).render())
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Static analysis over the simulation core (repro.check)."""
     from repro.check.cli import main as check_main
@@ -215,14 +305,55 @@ def main(argv: list[str] | None = None) -> int:
                  "(default $REPRO_EXEC_RETRIES or 2)",
         )
 
+    def add_trace_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="also record a Chrome/Perfetto protocol trace "
+                 "(bypasses the sweep cache)",
+        )
+
     p = sub.add_parser("figures", help="run all figures with anchor audits")
     add_exec_options(p)
+    add_trace_flag(p)
     p.set_defaults(func=cmd_figures, figure=None)
 
     p = sub.add_parser("figure", help="run one figure")
     p.add_argument("figure", choices=["fig1", "fig2", "fig3", "fig4", "fig5"])
     add_exec_options(p)
+    add_trace_flag(p)
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "trace", help="record a Chrome/Perfetto trace of a figure or sweep"
+    )
+    p.add_argument(
+        "target",
+        choices=["fig1", "fig2", "fig3", "fig4", "fig5", "sweep"],
+        help="a paper figure, or 'sweep' for one --library/--config pair",
+    )
+    p.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="Chrome-trace output path (default trace.json)",
+    )
+    p.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="also write the merged span log as JSONL",
+    )
+    p.add_argument(
+        "--library", default="mpich", metavar="NAME",
+        help="library model for target 'sweep' (see: libraries)",
+    )
+    p.add_argument(
+        "--config", default="pc_netgear_ga620", metavar="NAME",
+        help="cluster config factory for target 'sweep' "
+             "(a function of repro.experiments.configs)",
+    )
+    p.add_argument(
+        "--no-summary", action="store_true",
+        help="skip the per-layer ASCII overhead tables",
+    )
+    add_exec_options(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("tables", help="print tables T1-T4")
     p.set_defaults(func=cmd_tables)

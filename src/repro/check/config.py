@@ -91,10 +91,12 @@ class Policy:
 #: state — but the scheduler measures real wall seconds by design.
 DEFAULT_POLICY = Policy(
     family_scopes={
-        "determinism": SIM_PACKAGES + ("repro.exec",),
-        "purity": SIM_PACKAGES,
+        # repro.obs records *simulated* time only, so it is held to the
+        # same determinism and purity bar as the simulation itself.
+        "determinism": SIM_PACKAGES + ("repro.exec", "repro.obs"),
+        "purity": SIM_PACKAGES + ("repro.obs",),
         "yield-discipline": None,  # a discarded generator is dead code anywhere
-        "cache-safety": SIM_PACKAGES,
+        "cache-safety": SIM_PACKAGES + ("repro.obs",),
     },
     family_exemptions={
         # Live loopback benchmarking: real sockets, real clock — the
@@ -108,7 +110,8 @@ DEFAULT_POLICY = Policy(
         "purity": ("repro.realnet", "repro.faults"),
     },
     rule_exemptions={
-        # The one sanctioned place for file I/O: baseline/result (de)serialization.
-        "pure-open": ("repro.core.io",),
+        # The sanctioned places for file I/O: baseline/result
+        # (de)serialization, and the obs trace-file writers.
+        "pure-open": ("repro.core.io", "repro.obs.export"),
     },
 )

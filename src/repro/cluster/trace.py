@@ -6,12 +6,23 @@ ASCII timeline renders one lane per rank — the quickest way to *see*
 the difference between a progress engine that overlaps (compute lane
 solid while the transfer completes underneath) and a blocking one
 (communication serialised after compute).
+
+Since :mod:`repro.obs` landed, a :class:`TraceEvent` *is* an obs
+:class:`~repro.obs.Span` (rank = track, kind = name), so a program
+trace shares the same export path as the protocol traces:
+``tracer.to_recorder()`` hands the events to
+:func:`repro.obs.to_chrome_trace` / :func:`repro.obs.to_jsonl`
+unchanged.  Unknown activity kinds are legal — they render in the
+timeline as ``?`` instead of raising — so library-specific lanes
+(e.g. ``"probe"``) can be recorded without registering a code first.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Mapping, Optional
+
+from repro.obs.recorder import Recorder, Span
 
 #: One-character lane codes per activity kind.
 LANE_CODES = {
@@ -23,20 +34,44 @@ LANE_CODES = {
     "idle": ".",
 }
 
+#: Lane code for kinds missing from :data:`LANE_CODES`.
+UNKNOWN_LANE_CODE = "?"
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded interval on one rank."""
+#: Span category program-trace events are filed under.
+CLUSTER_TRACE_CAT = "cluster"
 
-    rank: int
-    kind: str
-    detail: str
-    t0: float
-    t1: float
+
+class TraceEvent(Span):
+    """One recorded interval on one rank.
+
+    A :class:`~repro.obs.Span` specialised for program traces: the
+    activity kind is the span name, the rank is the track, and the
+    free-form detail rides in ``attrs``.  The ``rank``/``kind``/
+    ``detail`` accessors keep the original trace API intact.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, rank: int, kind: str, detail: str, t0: float, t1: float):
+        super().__init__(
+            kind, cat=CLUSTER_TRACE_CAT, t0=t0, t1=t1, track=rank,
+            attrs={"detail": detail} if detail else None,
+        )
 
     @property
-    def duration(self) -> float:
-        return self.t1 - self.t0
+    def rank(self) -> int:
+        """The rank this interval belongs to (the span's track)."""
+        return self.track
+
+    @property
+    def kind(self) -> str:
+        """Activity kind — ``send``/``recv``/``wait``/... (the span's name)."""
+        return self.name
+
+    @property
+    def detail(self) -> str:
+        """Free-form description of the interval."""
+        return self.attrs.get("detail", "")
 
 
 @dataclass
@@ -46,14 +81,15 @@ class Tracer:
     events: list[TraceEvent] = field(default_factory=list)
 
     def record(self, rank: int, kind: str, detail: str, t0: float, t1: float) -> None:
-        if kind not in LANE_CODES:
-            raise ValueError(f"unknown trace kind {kind!r}")
+        """Append one interval (``t1 < t0`` raises; unknown kinds are
+        kept and rendered as :data:`UNKNOWN_LANE_CODE`)."""
         if t1 < t0:
             raise ValueError("interval ends before it starts")
         self.events.append(TraceEvent(rank, kind, detail, t0, t1))
 
     # -- queries -----------------------------------------------------------------
     def for_rank(self, rank: int) -> list[TraceEvent]:
+        """One rank's intervals in start order."""
         return sorted(
             (e for e in self.events if e.rank == rank), key=lambda e: e.t0
         )
@@ -73,6 +109,21 @@ class Tracer:
         for e in self.for_rank(rank):
             out[e.kind] = out.get(e.kind, 0.0) + e.duration
         return out
+
+    # -- export ------------------------------------------------------------------
+    def to_recorder(
+        self, meta: Optional[Mapping[str, Any]] = None
+    ) -> Recorder:
+        """These events on a :class:`repro.obs.Recorder`.
+
+        Every event is already a Span, so this is a re-parenting, not a
+        conversion; the result plugs straight into
+        :func:`repro.obs.to_chrome_trace` (lanes become threads) and
+        :func:`repro.obs.to_jsonl`.
+        """
+        rec = Recorder(meta=meta)
+        rec.spans.extend(self.events)
+        return rec
 
     # -- rendering -----------------------------------------------------------------
     def render_timeline(self, width: int = 72) -> str:
@@ -100,12 +151,14 @@ class Tracer:
                 c0 = int((e.t0 - t_min) / dt)
                 c1 = max(c0 + 1, int((e.t1 - t_min) / dt + 0.9999))
                 p = priority.get(e.kind, 1)
+                code = LANE_CODES.get(e.kind, UNKNOWN_LANE_CODE)
                 for c in range(max(0, c0), min(width, c1)):
                     if p >= lane_pri[c]:
-                        lane[c] = LANE_CODES[e.kind]
+                        lane[c] = code
                         lane_pri[c] = p
             lines.append(f"rank {rank:2d} |{''.join(lane)}|")
         lines.append(
-            "legend: # compute  S send  R recv  w wait  C collective  . idle"
+            "legend: # compute  S send  R recv  w wait  C collective  "
+            ". idle  ? other"
         )
         return "\n".join(lines)

@@ -67,6 +67,7 @@ from repro.exec.cache import SweepCache
 from repro.exec.fingerprint import sweep_fingerprint
 from repro.hw.cluster import ClusterConfig
 from repro.mplib.base import MPLibrary
+from repro.obs.recorder import Recorder
 from repro.sim import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -175,7 +176,14 @@ class SweepStats:
 
 @dataclass(frozen=True)
 class ExecEvent:
-    """One notable executor incident (failure, timeout, degradation)."""
+    """One notable executor incident (failure, timeout, degradation).
+
+    Since the executor moved onto :mod:`repro.obs`, this is a *view*:
+    incidents are stored as point spans (``cat="exec-event"``) on
+    :attr:`RunReport.obs` and materialised back into ``ExecEvent``
+    objects by :attr:`RunReport.events`, so existing callers (and the
+    rendered report) are unchanged.
+    """
 
     label: str  # sweep label, or "<pool>" for pool-wide incidents
     attempt: int
@@ -187,14 +195,50 @@ class ExecEvent:
         return f"[{self.kind}] {self.label} attempt {self.attempt}: {self.detail}"
 
 
+#: Span category the executor files its incident events under.
+EXEC_EVENT_CAT = "exec-event"
+
+
 @dataclass
 class RunReport:
-    """Per-sweep provenance and totals for one executor invocation."""
+    """Per-sweep provenance and totals for one executor invocation.
+
+    The report carries a wall-domain :class:`~repro.obs.Recorder`
+    (``obs``): incidents are point spans in category
+    ``exec-event``, cache traffic shows up as ``exec.cache.*``
+    counters, and — when ``execute_sweeps(trace=True)`` — the
+    per-sweep simulation recorders land in :attr:`traces`, keyed by
+    sweep label, ready for :func:`repro.obs.to_chrome_trace`.
+    """
 
     workers: int
     stats: list[SweepStats] = field(default_factory=list)
-    events: list[ExecEvent] = field(default_factory=list)
+    obs: Recorder = field(
+        default_factory=lambda: Recorder(meta={"domain": "exec"})
+    )
+    traces: dict[str, Recorder] = field(default_factory=dict)
     degraded_to_serial: bool = False
+
+    def record_event(self, label: str, attempt: int, kind: str,
+                     detail: str) -> None:
+        """File one executor incident on the report's recorder."""
+        self.obs.point(
+            f"exec.{kind}", cat=EXEC_EVENT_CAT,
+            label=label, attempt=attempt, kind=kind, detail=detail,
+        )
+
+    @property
+    def events(self) -> list[ExecEvent]:
+        """Incident events, materialised from the obs recorder."""
+        return [
+            ExecEvent(
+                label=s.attrs.get("label", "?"),
+                attempt=int(s.attrs.get("attempt", 0)),
+                kind=s.attrs.get("kind", s.name),
+                detail=s.attrs.get("detail", ""),
+            )
+            for s in self.obs.spans_by_cat(EXEC_EVENT_CAT)
+        ]
 
     @property
     def sweeps_simulated(self) -> int:
@@ -262,7 +306,8 @@ def _run_sweep(
     attempt: int = 0,
     plan: "FaultPlan | None" = None,
     allow_crash: bool = False,
-) -> tuple[NetPipeResult, int, float]:
+    trace: bool = False,
+) -> tuple[NetPipeResult, int, float, Recorder | None]:
     """Execute one sweep on a fresh engine (also the pool worker).
 
     ``attempt`` numbers retries of the same request; together with the
@@ -270,7 +315,13 @@ def _run_sweep(
     (see :mod:`repro.faults`).  With ``plan=None`` — every production
     call — the fault hook is a single comparison.
 
-    Returns ``(result, events_processed, elapsed_wall_seconds)``.
+    ``trace=True`` attaches a fresh :class:`~repro.obs.Recorder` to
+    the engine so every protocol hook fires; the recorder rides back
+    across the process-pool boundary with the result (its
+    ``engine.now`` clock is dropped on pickling).
+
+    Returns ``(result, events_processed, elapsed_wall_seconds,
+    recorder_or_None)``.
     """
     t0 = time.perf_counter()
     spec = plan.action_for(request.label, attempt) if plan is not None else None
@@ -281,7 +332,16 @@ def _run_sweep(
 
         apply_pre_fault(spec, allow_crash)
     sizes = request.sizes if request.sizes is not None else netpipe_sizes()
-    engine = Engine()
+    recorder = (
+        Recorder(meta={
+            "label": request.label,
+            "library": request.library.display_name,
+            "config": request.config.describe(),
+        })
+        if trace
+        else None
+    )
+    engine = Engine(obs=recorder)
     a, b = request.library.build(engine, request.config)
     samples = measure_sweep(engine, a, b, sizes, repeats=request.repeats)
     elapsed = time.perf_counter() - t0
@@ -294,7 +354,7 @@ def _run_sweep(
         from repro.faults.inject import apply_post_fault
 
         result = apply_post_fault(spec, result)
-    return result, engine.events_processed, elapsed
+    return result, engine.events_processed, elapsed, recorder
 
 
 def _validate_result(request: SweepRequest, result: NetPipeResult) -> str | None:
@@ -323,8 +383,9 @@ def _validate_result(request: SweepRequest, result: NetPipeResult) -> str | None
     return None
 
 
-#: One successful sweep: (result, engine events, elapsed, attempts, timed_out).
-_Outcome = tuple[NetPipeResult, int, float, int, bool]
+#: One successful sweep:
+#: (result, engine events, elapsed, attempts, timed_out, recorder|None).
+_Outcome = tuple[NetPipeResult, int, float, int, bool, "Recorder | None"]
 
 
 def _run_with_retries(
@@ -335,6 +396,7 @@ def _run_with_retries(
     backoff: float,
     report: RunReport,
     first_attempt: int = 0,
+    trace: bool = False,
 ) -> _Outcome:
     """Serial in-process execution of one sweep with the retry policy.
 
@@ -349,8 +411,8 @@ def _run_with_retries(
     while True:
         cause: Exception | None = None
         try:
-            result, events, elapsed = _run_sweep(
-                request, attempt, plan, allow_crash=False
+            result, events, elapsed, recorder = _run_sweep(
+                request, attempt, plan, allow_crash=False, trace=trace
             )
         except Exception as exc:
             cause = exc
@@ -358,7 +420,7 @@ def _run_with_retries(
         else:
             problem = _validate_result(request, result)
             if problem is None and (timeout is None or elapsed <= timeout):
-                return result, events, elapsed, attempt + 1, timed_out
+                return result, events, elapsed, attempt + 1, timed_out, recorder
             if problem is not None:
                 kind, detail = "corrupt-result", problem
             else:
@@ -367,10 +429,7 @@ def _run_with_retries(
                     "timeout",
                     f"attempt ran {elapsed:.3f}s, past the {timeout:.3g}s deadline",
                 )
-        report.events.append(
-            ExecEvent(label=request.label, attempt=attempt, kind=kind,
-                      detail=detail)
-        )
+        report.record_event(request.label, attempt, kind, detail)
         if attempt - first_attempt >= retries:
             raise SweepExecutionError(
                 f"sweep {request.label!r} failed after {attempt + 1} "
@@ -389,6 +448,7 @@ def _execute_pool(
     backoff: float,
     max_workers: int,
     report: RunReport,
+    trace: bool = False,
 ) -> dict[int, _Outcome]:
     """Run the pending sweeps on a process pool with the retry policy.
 
@@ -405,10 +465,7 @@ def _execute_pool(
     def fail_attempt(index: int, attempt: int, kind: str, detail: str,
                      cause: Exception | None) -> bool:
         """Record a failed attempt; True if the sweep may be retried."""
-        report.events.append(
-            ExecEvent(label=requests[index].label, attempt=attempt,
-                      kind=kind, detail=detail)
-        )
+        report.record_event(requests[index].label, attempt, kind, detail)
         if attempts_started[index] >= retries + 1:
             raise SweepExecutionError(
                 f"sweep {requests[index].label!r} failed after "
@@ -425,7 +482,7 @@ def _execute_pool(
                 attempt = attempts_started[index]
                 attempts_started[index] += 1
                 future = pool.submit(
-                    _run_sweep, requests[index], attempt, plan, True
+                    _run_sweep, requests[index], attempt, plan, True, trace
                 )
                 active[future] = (index, attempt, time.monotonic())
 
@@ -447,7 +504,7 @@ def _execute_pool(
                 for future in done:
                     index, attempt, _started = active.pop(future)
                     try:
-                        result, events, elapsed = future.result()
+                        result, events, elapsed, recorder = future.result()
                     except BrokenProcessPool:
                         raise
                     except Exception as exc:
@@ -464,6 +521,7 @@ def _execute_pool(
                     outcomes[index] = (
                         result, events, elapsed,
                         attempts_started[index], timed_out_flags[index],
+                        recorder,
                     )
                 if timeout is not None:
                     now = time.monotonic()
@@ -485,23 +543,20 @@ def _execute_pool(
     except BrokenProcessPool as exc:
         report.degraded_to_serial = True
         unfinished = [i for i in pending if i not in outcomes]
-        report.events.append(
-            ExecEvent(
-                label="<pool>", attempt=0, kind="pool-broken",
-                detail=(
-                    f"{type(exc).__name__}: a worker died; re-running "
-                    f"{len(unfinished)} unfinished sweep(s) serially"
-                ),
-            )
+        report.record_event(
+            "<pool>", 0, "pool-broken",
+            f"{type(exc).__name__}: a worker died; re-running "
+            f"{len(unfinished)} unfinished sweep(s) serially",
         )
         for i in unfinished:
-            result, events, elapsed, attempts, timed_out = _run_with_retries(
+            (result, events, elapsed, attempts, timed_out,
+             recorder) = _run_with_retries(
                 requests[i], plan, timeout, retries, backoff, report,
-                first_attempt=attempts_started[i],
+                first_attempt=attempts_started[i], trace=trace,
             )
             outcomes[i] = (
                 result, events, elapsed, attempts,
-                timed_out or timed_out_flags[i],
+                timed_out or timed_out_flags[i], recorder,
             )
     return outcomes
 
@@ -515,6 +570,7 @@ def execute_sweeps(
     retries: int | None = None,
     backoff: float | None = None,
     fault_plan: "FaultPlan | None" = None,
+    trace: bool = False,
 ) -> tuple[list[NetPipeResult], RunReport]:
     """Run many sweeps, parallel across processes, cache-aware, fault-hard.
 
@@ -533,6 +589,10 @@ def execute_sweeps(
     :param fault_plan: deterministic failure injection for tests (see
         :mod:`repro.faults`); ``None`` — the production value — makes
         every fault hook a single comparison.
+    :param trace: attach a :class:`~repro.obs.Recorder` to every
+        simulated sweep and collect them into ``report.traces`` (keyed
+        by label).  Tracing bypasses the cache entirely — a cache hit
+        has no trace to give — so every sweep actually simulates.
 
     :raises SweepExecutionError: when a sweep still fails after its
         whole retry budget (never for a mere worker crash, which
@@ -552,6 +612,11 @@ def execute_sweeps(
         backoff = DEFAULT_BACKOFF
     if cache is None:
         cache = SweepCache.from_env()
+    if trace:
+        # No cache reads or writes while tracing: a hit would return a
+        # curve with no trace behind it, and traced runs should never
+        # shadow (or be shadowed by) the cached untraced ones.
+        cache = None
 
     requests = list(requests)
     report = RunReport(workers=max_workers)
@@ -568,6 +633,7 @@ def execute_sweeps(
     for i, request in enumerate(requests):
         hit = cache.get(fingerprints[i]) if cache is not None else None
         if hit is not None:
+            report.obs.count("exec.cache.hit")
             results[i] = hit
             stats[i] = SweepStats(
                 label=request.label,
@@ -577,23 +643,28 @@ def execute_sweeps(
                 events_processed=0,
             )
         else:
+            if cache is not None:
+                report.obs.count("exec.cache.miss")
             pending.append(i)
 
     if pending:
         if max_workers == 1 or len(pending) == 1:
             outcomes = {
                 i: _run_with_retries(
-                    requests[i], fault_plan, timeout, retries, backoff, report
+                    requests[i], fault_plan, timeout, retries, backoff,
+                    report, trace=trace,
                 )
                 for i in pending
             }
         else:
             outcomes = _execute_pool(
                 requests, pending, fault_plan, timeout, retries, backoff,
-                max_workers, report,
+                max_workers, report, trace=trace,
             )
         for i in pending:
-            result, events, elapsed, attempts, timed_out = outcomes[i]
+            result, events, elapsed, attempts, timed_out, recorder = outcomes[i]
+            if recorder is not None:
+                report.traces[requests[i].label] = recorder
             results[i] = result
             stats[i] = SweepStats(
                 label=requests[i].label,
@@ -605,12 +676,9 @@ def execute_sweeps(
                 timed_out=timed_out,
             )
             if cache is not None and cache.try_put(fingerprints[i], result) is None:
-                report.events.append(
-                    ExecEvent(
-                        label=requests[i].label, attempt=attempts - 1,
-                        kind="cache-write-failed",
-                        detail="cache write failed; see warning for the cause",
-                    )
+                report.record_event(
+                    requests[i].label, attempts - 1, "cache-write-failed",
+                    "cache write failed; see warning for the cause",
                 )
 
     report.stats = [s for s in stats if s is not None]

@@ -89,6 +89,7 @@ class Experiment:
         timeout: float | None = None,
         retries: int | None = None,
         fault_plan: "FaultPlan | None" = None,
+        trace: bool = False,
     ) -> tuple[dict[str, NetPipeResult], "RunReport"]:
         """All curves plus the executor's provenance/timing report.
 
@@ -102,6 +103,10 @@ class Experiment:
         deterministic failures for the chaos tests
         (:mod:`repro.faults`).  The report says which path each curve
         took and every incident along the way.
+
+        ``trace=True`` records a full :mod:`repro.obs` protocol trace
+        per curve into ``report.traces`` (cache bypassed; see
+        :func:`repro.exec.scheduler.execute_sweeps`).
         """
         from repro.exec.scheduler import execute_sweeps
 
@@ -109,6 +114,7 @@ class Experiment:
         results, report = execute_sweeps(
             requests, max_workers=max_workers, cache=cache,
             timeout=timeout, retries=retries, fault_plan=fault_plan,
+            trace=trace,
         )
         return (
             {req.label: result for req, result in zip(requests, results)},

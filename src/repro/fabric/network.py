@@ -69,6 +69,8 @@ class Fabric:
         self.inboxes = [Store(engine) for _ in range(nranks)]
         self._seq = itertools.count()
         self.messages_delivered = 0
+        #: bound once: the engine's obs recorder (NULL_RECORDER when off)
+        self.obs = engine.obs
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
@@ -94,6 +96,9 @@ class Fabric:
             src=src, dst=dst, tag=tag, size=size,
             meta=dict(meta or {}), seq=next(self._seq),
         )
+        obs = self.obs
+        if obs.enabled:
+            t_queue = self.engine.now
         crossing = self._ports.crossing(src, dst) if self._ports else None
         tx_req = self._tx[src].request()
         yield tx_req
@@ -118,16 +123,32 @@ class Fabric:
         finally:
             for resource, req in held:
                 resource.release(req)
+        if obs.enabled:
+            obs.record(
+                "net.send", cat="wire", t0=t_queue, t1=self.engine.now,
+                track=msg.src, size=msg.size, tag=msg.tag,
+            )
+            obs.count("net.messages")
+            obs.observe("net.bytes", msg.size)
         self.engine.process(self._deliver(msg))
         return msg
 
     def _deliver(self, msg: FabricMessage) -> Generator:
+        obs = self.obs
+        if obs.enabled:
+            t_flight = self.engine.now  # injection done; latency leg begins
         latency = self.link.latency0
         if msg.meta.get("inter_leaf") and isinstance(self.topology, TwoTierTree):
             latency += 2 * self.topology.uplink_latency
         yield self.engine.timeout(latency)
         msg.delivered_at = self.engine.now
         self.messages_delivered += 1
+        if obs.enabled:
+            obs.record(
+                "net.deliver", cat="wire", t0=t_flight,
+                t1=self.engine.now, track=msg.dst, size=msg.size,
+                tag=msg.tag,
+            )
         self.inboxes[msg.dst].put(msg)
 
     def recv(

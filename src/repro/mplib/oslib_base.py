@@ -113,6 +113,12 @@ class OsBypassEndpoint(LibEndpoint):
         self.config = config
         self.ep = endpoint
         self.engine = endpoint.channel.engine
+        #: bound once: the engine's obs recorder (NULL_RECORDER when off)
+        self.obs = self.engine.obs
+        track = getattr(endpoint, "node", None)
+        if track is None:  # fabric PairEndpoint exposes .me instead
+            track = getattr(endpoint, "me", 0)
+        self._obs_track = track
 
     def _bounce_copy_time(self, nbytes: int) -> float:
         """Exposed cost of one pipelined bounce-buffer copy."""
@@ -125,28 +131,67 @@ class OsBypassEndpoint(LibEndpoint):
 
     def send(self, nbytes: int) -> Generator:
         spec = self.spec
+        obs = self.obs
+        track = self._obs_track
         if self._is_large(nbytes) and spec.zero_copy_large:
             # Rendezvous: exchange registrations, then NIC-direct RDMA.
+            if obs.enabled:
+                obs.count("mplib.rendezvous")
+                t0 = self.engine.now
             yield from self.ep.send(spec.header_bytes, tag="rts")
             yield from self.ep.recv(tag="cts")
+            if obs.enabled:
+                obs.record(
+                    "mplib.rendezvous", cat="handshake", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                    path="rdma",
+                )
             yield from self.ep.send(nbytes, tag="data", meta={"path": "rdma"})
         else:
+            if obs.enabled:
+                obs.count("mplib.eager")
+                t0 = self.engine.now
             yield self.engine.timeout(self._bounce_copy_time(nbytes))
+            if obs.enabled and self.engine.now > t0:
+                obs.record(
+                    "mplib.tx-copy", cat="copy", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                )
             yield from self.ep.send(nbytes + spec.header_bytes, tag="data")
+        if obs.enabled:
+            obs.count("mplib.send")
 
     def recv(self, nbytes: int) -> Generator:
         spec = self.spec
+        obs = self.obs
+        track = self._obs_track
         large = self._is_large(nbytes)
         if large and spec.zero_copy_large:
+            if obs.enabled:
+                t0 = self.engine.now
             yield from self.ep.recv(tag="rts")
             yield from self.ep.send(spec.header_bytes, tag="cts")
+            if obs.enabled:
+                obs.record(
+                    "mplib.rendezvous", cat="handshake", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                    role="passive", path="rdma",
+                )
             msg = yield from self.ep.recv(tag="data")
         else:
             msg = yield from self.ep.recv(tag="data")
+            if obs.enabled:
+                t0 = self.engine.now
             if not spec.zero_copy_large:
                 # No RPUT: every message is staged through the
                 # descriptor path with a serial receive copy.
                 yield self.engine.timeout(self.config.host.copy_time(nbytes))
             else:
                 yield self.engine.timeout(self._bounce_copy_time(nbytes))
+            if obs.enabled and self.engine.now > t0:
+                obs.record(
+                    "mplib.rx-copy", cat="copy", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                    serial=not spec.zero_copy_large,
+                )
         return msg

@@ -136,6 +136,12 @@ class TcpLibEndpoint(LibEndpoint):
         self.config = config
         self.ep = endpoint
         self.engine = endpoint.channel.engine
+        #: bound once: the engine's obs recorder (NULL_RECORDER when off)
+        self.obs = self.engine.obs
+        track = getattr(endpoint, "node", None)
+        if track is None:  # fabric PairEndpoint exposes .me instead
+            track = getattr(endpoint, "me", 0)
+        self._obs_track = track
 
     # -- cost helpers ----------------------------------------------------------
     def _copy_time(self, nbytes: int) -> float:
@@ -168,36 +174,104 @@ class TcpLibEndpoint(LibEndpoint):
     # -- protocol ---------------------------------------------------------------
     def send(self, nbytes: int) -> Generator:
         spec = self.spec
+        obs = self.obs
+        track = self._obs_track
         if spec.route is Route.DAEMON:
             # Application -> local daemon: a store-and-forward hop.
+            if obs.enabled:
+                t0 = self.engine.now
             yield self.engine.timeout(self._daemon_hop_time(nbytes))
+            if obs.enabled:
+                obs.record(
+                    "mplib.daemon-hop", cat="daemon", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes, side="tx",
+                )
         tx_stage = self._staging_time(nbytes, spec.tx_staging_copies)
         if tx_stage:
+            if obs.enabled:
+                t0 = self.engine.now
             yield self.engine.timeout(tx_stage)
+            if obs.enabled:
+                obs.record(
+                    "mplib.tx-copy", cat="copy", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                    copies=spec.tx_staging_copies,
+                )
         wire_bytes = nbytes + spec.header_bytes
         if self._is_rendezvous(nbytes):
             # Request-to-send / clear-to-send handshake, then the body.
+            if obs.enabled:
+                obs.count("mplib.rendezvous")
+                t0 = self.engine.now
             yield from self.ep.send(spec.header_bytes, tag="rts")
             yield from self.ep.recv(tag="cts")
+            if obs.enabled:
+                obs.record(
+                    "mplib.rendezvous", cat="handshake", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                )
             yield from self.ep.send(wire_bytes, tag="data")
         else:
+            if obs.enabled:
+                obs.count("mplib.eager")
             yield from self.ep.send(wire_bytes, tag="data")
+        if obs.enabled:
+            obs.count("mplib.send")
 
     def recv(self, nbytes: int) -> Generator:
         spec = self.spec
+        obs = self.obs
+        track = self._obs_track
         if self._is_rendezvous(nbytes):
+            if obs.enabled:
+                t0 = self.engine.now
             yield from self.ep.recv(tag="rts")
             yield from self.ep.send(spec.header_bytes, tag="cts")
+            if obs.enabled:
+                obs.record(
+                    "mplib.rendezvous", cat="handshake", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                    role="passive",
+                )
         msg = yield from self.ep.recv(tag="data")
         if spec.route is Route.DAEMON:
             # Remote daemon -> application: the second hop.
+            if obs.enabled:
+                t0 = self.engine.now
             yield self.engine.timeout(self._daemon_hop_time(nbytes))
+            if obs.enabled:
+                obs.record(
+                    "mplib.daemon-hop", cat="daemon", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes, side="rx",
+                )
         rx_stage = self._staging_time(nbytes, spec.rx_staging_copies)
         if rx_stage:
+            if obs.enabled:
+                t0 = self.engine.now
             yield self.engine.timeout(rx_stage)
+            if obs.enabled:
+                obs.record(
+                    "mplib.rx-copy", cat="copy", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                    copies=spec.rx_staging_copies,
+                )
         if spec.conversion_rate is not None and nbytes:
+            if obs.enabled:
+                t0 = self.engine.now
             yield self.engine.timeout(nbytes / spec.conversion_rate)
+            if obs.enabled:
+                obs.record(
+                    "mplib.convert", cat="convert", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                )
         frag = self._fragment_time(nbytes)
         if frag:
+            if obs.enabled:
+                t0 = self.engine.now
             yield self.engine.timeout(frag)
+            if obs.enabled:
+                obs.record(
+                    "mplib.fragment", cat="fragment", t0=t0,
+                    t1=self.engine.now, track=track, size=nbytes,
+                )
         return msg

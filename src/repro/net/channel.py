@@ -107,6 +107,8 @@ class SimChannel:
         self._wire = (Resource(engine, 1), Resource(engine, 1))
         self._seq = itertools.count()
         self.messages_delivered = 0
+        #: bound once: the engine's obs recorder (NULL_RECORDER when off)
+        self.obs = engine.obs
 
     def _make_message(
         self, src: int, size: int, tag: str, meta: Optional[dict]
@@ -123,6 +125,9 @@ class SimChannel:
         )
 
     def _inject(self, msg: Message) -> Generator:
+        obs = self.obs
+        if obs.enabled:
+            t_queue = self.engine.now
         wire = self._wire[msg.src]
         req = wire.request()
         yield req
@@ -133,11 +138,27 @@ class SimChannel:
                 yield self.engine.timeout(occupancy)
         finally:
             wire.release(req)
+        if obs.enabled:
+            obs.record(
+                "net.send", cat="wire", t0=t_queue, t1=self.engine.now,
+                track=msg.src, size=msg.size, tag=msg.tag,
+            )
+            obs.count("net.messages")
+            obs.observe("net.bytes", msg.size)
         self.engine.process(self._deliver(msg))
         return msg
 
     def _deliver(self, msg: Message) -> Generator:
+        obs = self.obs
+        if obs.enabled:
+            t_flight = self.engine.now  # injection done; latency leg begins
         yield self.engine.timeout(self.link.latency0)
         msg.delivered_at = self.engine.now
         self.messages_delivered += 1
+        if obs.enabled:
+            obs.record(
+                "net.deliver", cat="wire", t0=t_flight,
+                t1=self.engine.now, track=msg.dst, size=msg.size,
+                tag=msg.tag,
+            )
         self.endpoints[msg.dst].inbox.put(msg)

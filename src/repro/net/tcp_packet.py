@@ -93,6 +93,8 @@ class PacketTcpTransfer:
         self._rx_progress: Store = Store(engine)  # receiver -> acker
         self._acks: Store = Store(engine)  # cumulative acked byte count
         self.stats = TransferStats()
+        #: bound once: the engine's obs recorder (NULL_RECORDER when off)
+        self.obs = engine.obs
 
     # -- derived costs -----------------------------------------------------------
     @property
@@ -177,6 +179,8 @@ class PacketTcpTransfer:
             unsent -= payload
             sent += payload
             self.stats.segments_sent += 1
+            if self.obs.enabled:
+                self.obs.count("tcp.segment")
             self.engine.process(self._transmit_segment(payload, sent))
         # Drain remaining ACKs so the store never leaks getters.
         while self._acked < nbytes:
@@ -216,6 +220,9 @@ class PacketTcpTransfer:
             payload, seq_end = self._unacked[start]
             self.cwnd = max(2 * self.mss, self.cwnd / 2)  # multiplicative decrease
             self.stats.retransmissions += 1
+            if self.obs.enabled:
+                self.obs.count("tcp.retransmit")
+                self.obs.point("tcp.fast-retransmit", track=0, seq=start)
             self.engine.process(self._transmit_segment(payload, seq_end))
 
     def _rto_watchdog(self, nbytes: int) -> Generator:
@@ -238,6 +245,9 @@ class PacketTcpTransfer:
             payload, seq_end = self._unacked[start]
             self.cwnd = 2 * self.mss  # Tahoe: back to slow start
             self.stats.retransmissions += 1
+            if self.obs.enabled:
+                self.obs.count("tcp.retransmit")
+                self.obs.point("tcp.rto-retransmit", track=0, seq=start)
             yield self.engine.timeout(
                 nic.tx_per_packet_time + payload / host.memcpy_bandwidth
             )
@@ -259,6 +269,8 @@ class PacketTcpTransfer:
             # The frame died on the wire/in the ring; the receiver
             # never sees it.  Recovery is the sender's RTO.
             self.stats.segments_dropped += 1
+            if self.obs.enabled:
+                self.obs.count("tcp.drop")
             return
         yield self.engine.timeout(self._prop_delay)
         self._rx_segments.put((seq_end - payload, seq_end))
@@ -346,6 +358,8 @@ class PacketTcpTransfer:
         yield self.engine.timeout(ACK_WIRE_BYTES / self.config.nic.link_rate)
         self._wire_rev.release(req)
         self.stats.acks_sent += 1
+        if self.obs.enabled:
+            self.obs.count("tcp.ack")
         self.engine.process(self._deliver_ack(acked_bytes))
 
     def _deliver_ack(self, acked_bytes: int) -> Generator:

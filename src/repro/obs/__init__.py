@@ -1,0 +1,82 @@
+"""repro.obs — unified tracing & metrics for the whole stack.
+
+The observability subsystem records *why* a curve looks the way it
+does: protocol-event spans (eager vs rendezvous handshakes, staging
+copies, daemon hops), transport events (injection, delivery,
+retransmits), engine lifecycle, and executor provenance — all on the
+**simulated** clock, so a trace is exactly as deterministic as the
+curve it explains.
+
+Layers::
+
+    Recorder / Span / NULL_RECORDER      repro.obs.recorder
+    JSONL + Chrome-trace exporters       repro.obs.export
+    per-layer overhead summary           repro.obs.summary
+
+Quick start::
+
+    from repro.obs import Recorder, write_chrome_trace
+    from repro.sim import Engine
+
+    rec = Recorder(meta={"label": "MPICH"})
+    engine = Engine(obs=rec)         # hooks light up everywhere
+    ... run a sweep ...
+    write_chrome_trace("trace.json", rec)   # load in ui.perfetto.dev
+
+or from the command line::
+
+    python -m repro trace fig1 --out trace.json
+    python -m repro figures --trace trace.json
+
+When no recorder is attached the engine carries :data:`NULL_RECORDER`,
+whose ``enabled`` flag is a class-level ``False``; every hook in the
+hot paths is a single attribute check and the golden curves are
+bit-identical either way (``tests/test_obs_golden.py``,
+``benchmarks/test_bench_obs_overhead.py``).
+
+See docs/OBSERVABILITY.md for the span taxonomy and exporter formats.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    to_chrome_trace,
+    to_chrome_trace_json,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    Histogram,
+    NullRecorder,
+    Recorder,
+    Span,
+    merged,
+)
+from repro.obs.summary import (
+    DEFAULT_SUMMARY_SIZES,
+    OverheadRow,
+    OverheadTable,
+    decompose,
+    protocol_overhead,
+)
+
+__all__ = [
+    "DEFAULT_SUMMARY_SIZES",
+    "Histogram",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "OverheadRow",
+    "OverheadTable",
+    "Recorder",
+    "Span",
+    "chrome_trace_events",
+    "decompose",
+    "merged",
+    "protocol_overhead",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

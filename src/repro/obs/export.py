@@ -1,0 +1,148 @@
+"""Exporters: JSONL and Chrome-trace/Perfetto ``trace_event`` JSON.
+
+Both formats are keyed on *simulated* time: a span recorded at
+``engine.now == 120e-6`` exports at ``ts = 120`` microseconds, so the
+timeline a Perfetto user scrubs through is the protocol's own clock,
+reproducible bit-for-bit across runs and machines.
+
+* :func:`to_jsonl` — one JSON object per line: the recorder's meta
+  header, then every span/point, then counters and histograms.  The
+  grep-able archival format.
+* :func:`to_chrome_trace` — the ``trace_event`` JSON object format
+  (``{"traceEvents": [...]}``) that chrome://tracing and
+  https://ui.perfetto.dev load directly.  Each traced run becomes one
+  *process* (``pid``), each track (rank / node) one *thread* (``tid``),
+  spans become complete (``"X"``) events, points become instants
+  (``"i"``) and counters become ``"C"`` samples.
+
+File-writing helpers live here too; this is the one :mod:`repro.obs`
+module allowed to ``open()`` (see the ``pure-open`` policy entry in
+:mod:`repro.check.config`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Union
+
+from repro.obs.recorder import Recorder
+
+#: Simulated seconds -> trace_event microseconds.
+_US = 1e6
+
+TraceInput = Union[Recorder, Mapping[str, Recorder]]
+
+
+def _as_mapping(traces: TraceInput) -> Mapping[str, Recorder]:
+    """Normalise a single recorder to a one-entry {label: recorder} map."""
+    if isinstance(traces, Recorder):
+        label = str(traces.meta.get("label", "trace"))
+        return {label: traces}
+    return traces
+
+
+# -- JSONL ------------------------------------------------------------------
+def to_jsonl(recorder: Recorder) -> str:
+    """One recorder as newline-delimited JSON (header, spans, metrics)."""
+    lines = [json.dumps({"kind": "meta", **recorder.meta}, sort_keys=True)]
+    for span in recorder.spans:
+        lines.append(json.dumps({"kind": "span", **span.to_dict()},
+                                sort_keys=True))
+    for name in sorted(recorder.counters):
+        lines.append(json.dumps(
+            {"kind": "counter", "name": name,
+             "value": recorder.counters[name]},
+            sort_keys=True,
+        ))
+    for name in sorted(recorder.histograms):
+        lines.append(json.dumps(
+            {"kind": "histogram", "name": name,
+             **recorder.histograms[name].to_dict()},
+            sort_keys=True,
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(path: str, recorder: Recorder) -> None:
+    """Write :func:`to_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(recorder))
+
+
+# -- Chrome trace / Perfetto -------------------------------------------------
+def chrome_trace_events(recorder: Recorder, pid: int = 1,
+                        process_name: str | None = None) -> list[dict[str, Any]]:
+    """One recorder's observations as ``trace_event`` dictionaries.
+
+    Metadata events name the process (the run label) and its threads
+    (one per span track); spans/points/counters follow in time order.
+    """
+    events: list[dict[str, Any]] = []
+    name = process_name or str(recorder.meta.get("label", f"run {pid}"))
+    events.append({
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": name},
+    })
+    tracks = sorted({s.track for s in recorder.spans})
+    for track in tracks:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": track,
+            "args": {"name": f"track {track}"},
+        })
+    timed: list[dict[str, Any]] = []
+    for span in recorder.spans:
+        if span.is_point:
+            timed.append({
+                "name": span.name, "cat": span.cat or "event", "ph": "i",
+                "s": "t", "ts": span.t0 * _US, "pid": pid,
+                "tid": span.track, "args": dict(span.attrs),
+            })
+        else:
+            timed.append({
+                "name": span.name, "cat": span.cat or "span", "ph": "X",
+                "ts": span.t0 * _US, "dur": span.duration * _US,
+                "pid": pid, "tid": span.track, "args": dict(span.attrs),
+            })
+    _, t_end = recorder.time_span()
+    for cname in sorted(recorder.counters):
+        timed.append({
+            "name": cname, "ph": "C", "ts": t_end * _US, "pid": pid,
+            "tid": 0, "args": {cname: recorder.counters[cname]},
+        })
+    timed.sort(key=lambda e: e["ts"])
+    events.extend(timed)
+    return events
+
+
+def to_chrome_trace(traces: TraceInput) -> dict[str, Any]:
+    """The full ``trace_event`` JSON object for one or many recorders.
+
+    ``traces`` is either a single :class:`Recorder` or a mapping of
+    run label -> recorder; each label becomes one process in the
+    viewer.  Events are globally sorted by timestamp (metadata first)
+    so consumers may stream them without buffering.
+    """
+    mapping = _as_mapping(traces)
+    metadata: list[dict[str, Any]] = []
+    timed: list[dict[str, Any]] = []
+    for pid, (label, recorder) in enumerate(sorted(mapping.items()), start=1):
+        for event in chrome_trace_events(recorder, pid=pid,
+                                         process_name=label):
+            (metadata if event["ph"] == "M" else timed).append(event)
+    timed.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": metadata + timed,
+        "displayTimeUnit": "ns",
+        "otherData": {"source": "repro.obs", "clock": "simulated"},
+    }
+
+
+def to_chrome_trace_json(traces: TraceInput) -> str:
+    """:func:`to_chrome_trace` serialised to a JSON string."""
+    return json.dumps(to_chrome_trace(traces), sort_keys=True)
+
+
+def write_chrome_trace(path: str, traces: TraceInput) -> None:
+    """Write a Perfetto-loadable trace file to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_chrome_trace_json(traces))

@@ -1,0 +1,155 @@
+"""The ASCII per-layer overhead summary: the paper's story as a table.
+
+For one (library, config) pair, :func:`protocol_overhead` simulates a
+single one-way message per size with tracing on and splits the
+delivery time across the protocol's layers:
+
+* **handshake** — the rendezvous request-to-send / clear-to-send round
+  trip, counted on the initiating side only (the passive side's
+  matching span covers the same wall interval);
+* **copy** — staging copies through library buffers (p4's buffered
+  receive, PVM's fragments, eager bounce buffers), plus data
+  conversion and per-fragment bookkeeping;
+* **wire** — injection occupancy plus delivery latency of the payload
+  itself (``tag == "data"`` — the handshake's control messages are
+  already inside the handshake bucket);
+* **daemon** — store-and-forward hops through pvmd/lamd;
+* **other** — whatever remains of the one-way time (library latency
+  adders, progress stalls, scheduling).
+
+Rendered with :meth:`OverheadTable.render` this is the protocol-
+overhead decomposition the paper argues from: *which* design choice
+eats how much of the raw transport's performance at each message size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.recorder import Recorder
+
+#: Span categories folded into the "copy" column.
+_COPY_CATS = ("copy", "convert", "fragment")
+
+#: Default size ladder for the summary table (64 B .. 1 MB).
+DEFAULT_SUMMARY_SIZES: tuple[int, ...] = (
+    64, 1024, 8192, 65536, 131072, 262144, 1048576,
+)
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One message size's time split across the protocol layers."""
+
+    size: int
+    protocol: str  # "eager" | "rendezvous"
+    total: float  # one-way delivery time (seconds)
+    handshake: float
+    copy: float
+    wire: float
+    daemon: float
+    other: float
+
+    @property
+    def overhead(self) -> float:
+        """Seconds the library adds on top of the wire itself."""
+        return self.total - self.wire
+
+
+@dataclass(frozen=True)
+class OverheadTable:
+    """The per-size overhead decomposition of one library/config pair."""
+
+    library: str
+    config: str
+    rows: tuple[OverheadRow, ...]
+
+    def render(self) -> str:
+        """Fixed-width ASCII table, one row per message size."""
+        lines = [
+            f"protocol overhead: {self.library} on {self.config}",
+            f"{'size':>9}  {'proto':<10} {'total us':>9} {'handshake':>9} "
+            f"{'copy':>9} {'wire':>9} {'daemon':>9} {'other':>9} "
+            f"{'ovhd %':>7}",
+        ]
+        for r in self.rows:
+            pct = 100.0 * r.overhead / r.total if r.total > 0 else 0.0
+            lines.append(
+                f"{r.size:>9d}  {r.protocol:<10} {1e6 * r.total:>9.1f} "
+                f"{1e6 * r.handshake:>9.1f} {1e6 * r.copy:>9.1f} "
+                f"{1e6 * r.wire:>9.1f} {1e6 * r.daemon:>9.1f} "
+                f"{1e6 * r.other:>9.1f} {pct:>6.1f}%"
+            )
+        lines.append(
+            "columns: handshake = rendezvous RTS/CTS round trip; copy = "
+            "staging copies + conversion + fragmentation; wire = payload "
+            "occupancy + delivery latency; daemon = store-and-forward hops"
+        )
+        return "\n".join(lines)
+
+
+def decompose(recorder: Recorder, total: float) -> dict[str, float]:
+    """Split ``total`` seconds across layers from a recorder's spans.
+
+    Used on a trace of one one-way transfer; see the module docstring
+    for what lands in which bucket.
+    """
+    handshake = sum(
+        s.duration for s in recorder.spans
+        if s.cat == "handshake" and s.attrs.get("role") != "passive"
+    )
+    copy = sum(s.duration for s in recorder.spans if s.cat in _COPY_CATS)
+    wire = sum(
+        s.duration for s in recorder.spans
+        if s.cat == "wire" and s.attrs.get("tag", "data") == "data"
+    )
+    daemon = sum(s.duration for s in recorder.spans if s.cat == "daemon")
+    other = total - handshake - copy - wire - daemon
+    return {
+        "handshake": handshake,
+        "copy": copy,
+        "wire": wire,
+        "daemon": daemon,
+        "other": other,
+    }
+
+
+def protocol_overhead(
+    library,
+    config,
+    sizes: Sequence[int] = DEFAULT_SUMMARY_SIZES,
+) -> OverheadTable:
+    """Trace one one-way transfer per size and decompose its time.
+
+    :param library: an :class:`~repro.mplib.base.MPLibrary`.
+    :param config: a :class:`~repro.hw.cluster.ClusterConfig`.
+    :param sizes: message sizes to decompose (bytes).
+    """
+    from repro.sim import Engine  # late: repro.sim imports repro.obs
+
+    rows: list[OverheadRow] = []
+    for size in sizes:
+        recorder = Recorder(meta={"label": library.display_name,
+                                  "size": size})
+        engine = Engine(obs=recorder)
+        a, b = library.build(engine, config)
+        pa = engine.process(a.send(size))
+        pb = engine.process(b.recv(size))
+        engine.run(until=engine.all_of([pa, pb]))
+        total = engine.now
+        rendezvous = any(
+            s.cat == "handshake" for s in recorder.spans
+        )
+        parts = decompose(recorder, total)
+        rows.append(OverheadRow(
+            size=size,
+            protocol="rendezvous" if rendezvous else "eager",
+            total=total,
+            **parts,
+        ))
+    return OverheadTable(
+        library=library.display_name,
+        config=config.describe(),
+        rows=tuple(rows),
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim.events import Event, Timeout, AllOf, AnyOf
 
 
@@ -47,13 +48,20 @@ class Engine:
 
     # The engine is instantiated per sweep and its attributes are read
     # on every event; __slots__ keeps instances small and lookups fast.
-    __slots__ = ("_now", "_heap", "_seq", "events_processed")
+    __slots__ = ("_now", "_heap", "_seq", "events_processed", "obs")
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.events_processed = 0
+        #: repro.obs recorder every hook in the stack reads; the null
+        #: recorder's class-level ``enabled = False`` keeps untraced
+        #: runs to one attribute check per hook site.  Attach a real
+        #: Recorder at construction only — layers bind it once.
+        self.obs = NULL_RECORDER if obs is None else obs
+        if self.obs.enabled and self.obs.clock is None:
+            self.obs.clock = lambda: self._now
 
     # -- time --------------------------------------------------------------
     @property
@@ -100,6 +108,8 @@ class Engine:
         seq = self._seq
         self._seq = seq + 1
         heappush(self._heap, (when, seq, event))
+        if self.obs.enabled:
+            self.obs.count("sim.scheduled")
 
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
@@ -109,6 +119,8 @@ class Engine:
         t, _, event = heappop(self._heap)
         self._now = t
         self.events_processed += 1
+        if self.obs.enabled:
+            self.obs.count("sim.events")
         event._fire()
 
     def peek(self) -> float:
@@ -130,6 +142,8 @@ class Engine:
         # process re-raising) still leaves the counter accurate.
         heap = self._heap
         processed = 0
+        if self.obs.enabled:
+            self.obs.count("sim.runs")
         if until is None:
             try:
                 while heap:
@@ -139,6 +153,8 @@ class Engine:
                     event._fire()
             finally:
                 self.events_processed += processed
+                if self.obs.enabled:
+                    self.obs.count("sim.events", processed)
             return None
         if isinstance(until, Event):
             target = until
@@ -156,6 +172,8 @@ class Engine:
                     event._fire()
             finally:
                 self.events_processed += processed
+                if self.obs.enabled:
+                    self.obs.count("sim.events", processed)
             if not target.ok:
                 raise target.value
             return target.value
@@ -170,5 +188,7 @@ class Engine:
                 event._fire()
         finally:
             self.events_processed += processed
+            if self.obs.enabled:
+                self.obs.count("sim.events", processed)
         self._now = max(self._now, horizon)
         return None

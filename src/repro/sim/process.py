@@ -23,7 +23,7 @@ class Process(Event):
     exception is thrown in).
     """
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on", "_obs_t0")
 
     def __init__(self, engine: Engine, generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -33,6 +33,10 @@ class Process(Event):
         super().__init__(engine)
         self.generator = generator
         self._waiting_on: Event | None = None
+        self._obs_t0 = 0.0
+        if engine.obs.enabled:
+            engine.obs.count("sim.process.started")
+            self._obs_t0 = engine.now
         # Kick off the process asynchronously at the current instant.
         start = Event(engine)
         start.callbacks.append(self._resume)
@@ -81,9 +85,20 @@ class Process(Event):
         try:
             target = step()
         except StopIteration as stop:
+            obs = self.engine.obs
+            if obs.enabled:
+                obs.count("sim.process.finished")
+                obs.record(
+                    "sim.process", cat="sim", t0=self._obs_t0,
+                    t1=self.engine.now,
+                    target=getattr(self.generator, "__name__", "?"),
+                )
             self.succeed(stop.value)
             return
         except BaseException as exc:
+            obs = self.engine.obs
+            if obs.enabled:
+                obs.count("sim.process.failed")
             # The process died; propagate through anyone waiting on it.
             if self.callbacks:
                 self.fail(exc)

@@ -1,0 +1,272 @@
+"""repro.obs core: recorder semantics and the instrumentation hooks.
+
+The contract under test: a run with a :class:`~repro.obs.Recorder`
+attached records spans/counters on the *simulated* clock at every layer
+(engine, channel, mplib protocol), an untraced run carries the
+:data:`~repro.obs.NULL_RECORDER` and records nothing, and recorders
+pickle cleanly (the process-pool requirement).
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments import configs
+from repro.mplib import get_library
+from repro.obs import (
+    NULL_RECORDER,
+    Histogram,
+    NullRecorder,
+    Recorder,
+    Span,
+    decompose,
+    merged,
+    protocol_overhead,
+)
+from repro.sim import Engine
+
+pytestmark = pytest.mark.obs
+
+GA620 = configs.pc_netgear_ga620()
+
+
+def traced_transfer(library, nbytes, config=GA620):
+    """One one-way message under a fresh recorder; returns (rec, engine)."""
+    if isinstance(library, str):
+        library = get_library(library)
+    rec = Recorder(meta={"label": library.display_name})
+    engine = Engine(obs=rec)
+    a, b = library.build(engine, config)
+    engine.process(a.send(nbytes))
+    engine.process(b.recv(nbytes))
+    engine.run()
+    return rec, engine
+
+
+# -- recorder primitives ------------------------------------------------------
+def test_span_rejects_reversed_interval():
+    with pytest.raises(ValueError):
+        Span("x", t0=2.0, t1=1.0)
+
+
+def test_span_point_and_duration():
+    s = Span("x", t0=1.0, t1=3.0, track=2)
+    assert s.duration == pytest.approx(2.0) and not s.is_point
+    assert Span("y", t0=1.0, t1=1.0).is_point
+
+
+def test_counters_and_histograms():
+    rec = Recorder()
+    rec.count("a")
+    rec.count("a", 4)
+    rec.observe("b", 10.0)
+    rec.observe("b", 30.0)
+    assert rec.counters["a"] == 5
+    h = rec.histograms["b"]
+    assert (h.count, h.min, h.max, h.mean) == (2, 10.0, 30.0, 20.0)
+
+
+def test_histogram_empty_to_dict_is_finite():
+    d = Histogram().to_dict()
+    assert d["count"] == 0 and d["min"] == 0.0 and d["max"] == 0.0
+
+
+def test_span_context_manager_uses_clock():
+    t = {"now": 1.5}
+    rec = Recorder(clock=lambda: t["now"])
+    with rec.span("work", cat="sim", track=3, size=8):
+        t["now"] = 2.5
+    (s,) = rec.spans
+    assert (s.t0, s.t1, s.track, s.attrs["size"]) == (1.5, 2.5, 3, 8)
+
+
+def test_merge_combines_everything():
+    a, b = Recorder(), Recorder()
+    a.record("x", t0=0.0, t1=1.0)
+    a.count("n", 2)
+    a.observe("h", 1.0)
+    b.record("y", t0=1.0, t1=2.0)
+    b.count("n", 3)
+    b.observe("h", 5.0)
+    out = merged([a, b], meta={"label": "both"})
+    assert len(out.spans) == 2
+    assert out.counters["n"] == 5
+    assert out.histograms["h"].count == 2
+    assert out.time_span() == (0.0, 2.0)
+
+
+def test_null_recorder_is_disabled_and_inert():
+    assert NULL_RECORDER.enabled is False
+    assert NullRecorder.enabled is False  # class attribute: one lookup per hook
+    # every method is a no-op and the span context manager is reusable
+    NULL_RECORDER.record("x", t0=0.0, t1=1.0)
+    NULL_RECORDER.count("x")
+    NULL_RECORDER.observe("x", 1.0)
+    with NULL_RECORDER.span("x"):
+        pass
+
+
+def test_recorder_pickles_without_clock():
+    rec = Recorder(clock=lambda: 1.0, meta={"label": "p"})
+    rec.record("x", cat="wire", t0=0.0, t1=1.0, track=1, size=8)
+    rec.count("n")
+    rec.observe("h", 2.0)
+    clone = pickle.loads(pickle.dumps(rec))
+    assert clone.clock is None
+    assert clone.meta == {"label": "p"}
+    assert len(clone.spans) == 1 and clone.spans[0].attrs == {"size": 8}
+    assert clone.counters == {"n": 1}
+
+
+# -- engine / channel hooks ---------------------------------------------------
+def test_untraced_engine_carries_null_recorder():
+    assert Engine().obs is NULL_RECORDER
+
+
+def test_engine_installs_sim_clock_on_recorder():
+    rec = Recorder()
+    engine = Engine(obs=rec)
+
+    def sleeper():
+        yield engine.timeout(2.0)
+
+    engine.process(sleeper())
+    engine.run()
+    assert rec.now() == engine.now == 2.0
+
+
+def test_traced_run_records_wire_spans_and_process_lifecycle():
+    rec, engine = traced_transfer("raw-tcp", 1024)
+    wire = rec.spans_by_cat("wire")
+    assert {s.name for s in wire} == {"net.send", "net.deliver"}
+    sends = [s for s in wire if s.name == "net.send"]
+    assert all(s.t1 <= engine.now and s.t0 >= 0.0 for s in wire)
+    assert sends[0].attrs["size"] == 1024  # raw-tcp: zero header bytes
+    assert rec.counters["sim.events"] == engine.events_processed
+    assert rec.counters["sim.process.started"] == rec.counters[
+        "sim.process.finished"
+    ]
+    assert rec.histograms["net.bytes"].count == rec.counters["net.messages"]
+
+
+def test_traced_and_untraced_runs_agree_on_time():
+    rec, traced = traced_transfer("mpich", 262144)
+    untraced = Engine()
+    a, b = get_library("mpich").build(untraced, GA620)
+    untraced.process(a.send(262144))
+    untraced.process(b.recv(262144))
+    untraced.run()
+    assert traced.now == untraced.now
+    assert traced.events_processed == untraced.events_processed
+
+
+# -- protocol hooks -----------------------------------------------------------
+def test_eager_vs_rendezvous_counters():
+    small, _ = traced_transfer("mpich", 1024)
+    large, _ = traced_transfer("mpich", 262144)
+    assert small.counters.get("mplib.eager") == 1
+    assert "mplib.rendezvous" not in small.counters
+    assert large.counters.get("mplib.rendezvous") == 1
+
+
+def test_rendezvous_spans_mark_the_passive_side():
+    rec, _ = traced_transfer("mpich", 262144)
+    hs = rec.spans_by_cat("handshake")
+    roles = sorted(s.attrs.get("role", "active") for s in hs)
+    assert roles == ["active", "passive"]
+    active = next(s for s in hs if "role" not in s.attrs)
+    assert active.duration > 0
+
+
+def test_daemon_route_records_two_hops():
+    from repro.mplib.pvm import Pvm
+
+    rec, _ = traced_transfer(Pvm(), 65536)  # default: via the pvmd daemons
+    hops = rec.spans_by_cat("daemon")
+    assert sorted(s.attrs["side"] for s in hops) == ["rx", "tx"]
+    assert all(s.duration > 0 for s in hops)
+
+
+def test_osbypass_rdma_handshake_and_bounce_copies():
+    myri = configs.pc_myrinet()
+    large, _ = traced_transfer("mpich-gm", 262144, config=myri)
+    assert {s.attrs.get("path") for s in large.spans_by_cat("handshake")} == {
+        "rdma"
+    }
+    small, _ = traced_transfer("mpich-gm", 1024, config=myri)
+    copies = small.spans_by_cat("copy")
+    assert {s.name for s in copies} == {"mplib.tx-copy", "mplib.rx-copy"}
+
+
+def test_packet_tcp_counters():
+    from repro.net.tcp_packet import PacketTcpTransfer
+
+    rec = Recorder()
+    engine = Engine(obs=rec)
+    stats = PacketTcpTransfer(engine, GA620).run(1 << 20)
+    assert rec.counters["tcp.segment"] == stats.segments_sent
+    assert rec.counters["tcp.ack"] == stats.acks_sent
+    assert "tcp.retransmit" not in rec.counters  # lossless link
+
+
+def test_packet_tcp_retransmit_counter_under_loss():
+    from repro.net.tcp_packet import PacketTcpTransfer
+
+    rec = Recorder()
+    engine = Engine(obs=rec)
+    stats = PacketTcpTransfer(engine, GA620, loss_rate=0.02).run(1 << 19)
+    assert stats.retransmissions > 0
+    assert rec.counters["tcp.retransmit"] == stats.retransmissions
+
+
+def test_fabric_spans_carry_rank_tracks():
+    from repro.fabric import Fabric
+    from repro.net.tcp import TcpModel, TcpTuning
+
+    rec = Recorder()
+    engine = Engine(obs=rec)
+    fabric = Fabric(engine, TcpModel(GA620, TcpTuning()), nranks=4)
+
+    def send(src, dst):
+        yield from fabric.send(src, dst, 4096)
+
+    def recv(dst):
+        yield from fabric.recv(dst)
+
+    engine.process(send(0, 3))
+    engine.process(recv(3))
+    engine.run()
+    tracks = {s.track for s in rec.spans_by_cat("wire")}
+    assert tracks == {0, 3}
+
+
+# -- overhead summary ---------------------------------------------------------
+def test_decompose_accounts_all_layers_without_double_counting():
+    from repro.mplib.pvm import Pvm
+
+    rec, engine = traced_transfer(Pvm(), 262144)
+    row_parts = decompose(rec, total=engine.now)
+    total = engine.now
+    accounted = sum(row_parts[k] for k in ("handshake", "copy", "wire", "daemon"))
+    assert 0 < accounted <= total * (1 + 1e-9)
+    assert row_parts["daemon"] > 0 and row_parts["copy"] > 0
+
+
+def test_protocol_overhead_table_shape_and_monotone_totals():
+    table = protocol_overhead(
+        get_library("mpich"), GA620, sizes=(1024, 65536, 262144)
+    )
+    assert [r.size for r in table.rows] == [1024, 65536, 262144]
+    totals = [r.total for r in table.rows]
+    assert totals == sorted(totals)
+    big = table.rows[-1]
+    assert big.protocol == "rendezvous" and big.handshake > 0
+    art = table.render()
+    assert "handshake" in art and "rendezvous" in art
+
+
+def test_overhead_row_parts_never_exceed_total():
+    table = protocol_overhead(get_library("pvm"), GA620, sizes=(8192, 1 << 20))
+    for row in table.rows:
+        assert row.other >= -1e-12
+        assert 0.0 <= row.overhead <= 1.0

@@ -1,0 +1,135 @@
+"""Exporter formats: JSONL and the Chrome-trace schema.
+
+The Chrome-trace contract under test is what ui.perfetto.dev /
+chrome://tracing actually require: valid JSON with a ``traceEvents``
+array, metadata events first, timed events monotonically ordered by
+``ts``, and a distinct (pid, tid) per (run, rank) pair.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import configs
+from repro.mplib import get_library
+from repro.obs import (
+    Recorder,
+    chrome_trace_events,
+    to_chrome_trace,
+    to_chrome_trace_json,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import Engine
+
+pytestmark = pytest.mark.obs
+
+GA620 = configs.pc_netgear_ga620()
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One rendezvous transfer traced end to end."""
+    rec = Recorder(meta={"label": "MPICH", "size": 262144})
+    engine = Engine(obs=rec)
+    a, b = get_library("mpich").build(engine, GA620)
+    engine.process(a.send(262144))
+    engine.process(b.recv(262144))
+    engine.run()
+    return rec
+
+
+# -- JSONL --------------------------------------------------------------------
+def test_jsonl_every_line_parses_and_leads_with_meta(traced):
+    lines = to_jsonl(traced).splitlines()
+    docs = [json.loads(line) for line in lines]
+    assert docs[0]["kind"] == "meta" and docs[0]["label"] == "MPICH"
+    kinds = {d["kind"] for d in docs}
+    assert kinds == {"meta", "span", "counter", "histogram"}
+    spans = [d for d in docs if d["kind"] == "span"]
+    assert len(spans) == len(traced.spans)
+    assert all(d["t1"] >= d["t0"] for d in spans)
+
+
+def test_write_jsonl_roundtrip(tmp_path, traced):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(str(path), traced)
+    assert path.read_text() == to_jsonl(traced)
+
+
+# -- Chrome trace schema ------------------------------------------------------
+def test_chrome_trace_is_valid_json_with_trace_events(traced):
+    doc = json.loads(to_chrome_trace_json(traced))
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    assert doc["otherData"]["clock"] == "simulated"
+
+
+def test_chrome_trace_ts_monotonic_after_metadata(traced):
+    events = to_chrome_trace(traced)["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    timed = [e for e in events if e["ph"] != "M"]
+    # metadata strictly precedes timed events
+    assert events[: len(meta)] == meta
+    ts = [e["ts"] for e in timed]
+    assert ts == sorted(ts)
+    assert all(t >= 0 for t in ts)
+
+
+def test_chrome_trace_pid_and_tid_per_rank(traced):
+    events = to_chrome_trace(traced)["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    # both ranks of the transfer appear as distinct threads
+    assert {e["tid"] for e in spans} == {0, 1}
+    assert {e["pid"] for e in spans} == {1}
+    thread_names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert set(thread_names) >= {(1, 0), (1, 1)}
+
+
+def test_chrome_trace_multi_run_gets_distinct_pids(traced):
+    other = Recorder(meta={"label": "other"})
+    other.record("net.send", cat="wire", t0=0.0, t1=1e-6, track=0)
+    doc = to_chrome_trace({"MPICH": traced, "other": other})
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {1, 2}
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {"MPICH", "other"}
+
+
+def test_chrome_trace_span_fields_complete(traced):
+    for e in chrome_trace_events(traced):
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+            assert {"name", "cat", "ts", "pid", "tid"} <= set(e)
+
+
+def test_chrome_trace_counters_emitted_as_C_events(traced):
+    events = [e for e in chrome_trace_events(traced) if e["ph"] == "C"]
+    names = {e["name"] for e in events}
+    assert "sim.events" in names and "net.messages" in names
+    for e in events:
+        assert list(e["args"]) == [e["name"]]
+
+
+def test_chrome_trace_points_are_instants():
+    rec = Recorder()
+    rec.point("exec.fault", cat="exec-event", t=2e-6, detail="boom")
+    (event,) = [
+        e for e in chrome_trace_events(rec) if e["ph"] not in ("M", "C")
+    ]
+    assert event["ph"] == "i" and event["ts"] == pytest.approx(2.0)
+
+
+def test_write_chrome_trace_loads_back(tmp_path, traced):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), {"MPICH": traced})
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]

@@ -1,0 +1,100 @@
+"""Tracing is free and invisible: golden parity and pool transport.
+
+Two guarantees the obs subsystem makes to the rest of the repo:
+
+* **bit-identical curves** — running a figure with tracing on produces
+  exactly the curves pinned in ``tests/golden_curves.json``; the hooks
+  observe the simulation, they never perturb it;
+* **pool transparency** — traced sweeps cross the
+  :mod:`repro.exec` process pool like untraced ones, and the recorders
+  ride home with the results.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec import canonicalize
+from repro.exec.scheduler import SweepRequest, execute_sweeps
+from repro.experiments import ALL_FIGURES, configs
+from repro.mplib import get_library
+
+pytestmark = pytest.mark.obs
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_curves.json"
+
+
+def curve_digest(result) -> str:
+    """SHA-256 over one curve's canonical form (as test_golden_curves)."""
+    return hashlib.sha256(canonicalize(result).encode("utf-8")).hexdigest()
+
+
+def test_traced_fig1_digests_match_the_pinned_goldens():
+    """The whole point of zero-overhead-when-off *and* observe-only
+    when on: a traced fig1 reproduces the golden digests bit for bit."""
+    golden = json.loads(GOLDEN_PATH.read_text())["digests"]
+    fig1 = ALL_FIGURES[0]
+    assert fig1.id == "fig1"
+    results, report = fig1.run_with_report(trace=True)
+    digests = {label: curve_digest(r) for label, r in results.items()}
+    assert digests == golden["fig1"]
+    # and every curve actually carried a trace home
+    assert sorted(report.traces) == sorted(fig1.labels())
+    assert all(rec.spans for rec in report.traces.values())
+
+
+def test_trace_survives_the_process_pool():
+    reqs = [
+        SweepRequest(
+            label=name,
+            library=get_library(name),
+            config=configs.pc_netgear_ga620(),
+            sizes=(64, 1024, 262144),
+        )
+        for name in ("mpich", "mplite")
+    ]
+    results, report = execute_sweeps(
+        reqs, max_workers=2, cache=None, trace=True
+    )
+    assert sorted(report.traces) == ["mpich", "mplite"]
+    for label, rec in report.traces.items():
+        assert rec.meta["label"] == label
+        assert rec.clock is None  # dropped at the pickle boundary
+        assert rec.spans and rec.counters["sim.runs"] > 0
+    # traced results identical to a plain serial run
+    plain, _ = execute_sweeps(reqs, max_workers=1, cache=None)
+    assert [curve_digest(r) for r in results] == [
+        curve_digest(r) for r in plain
+    ]
+
+
+def test_trace_bypasses_the_cache(tmp_path):
+    from repro.exec import SweepCache
+
+    cache = SweepCache(str(tmp_path / "cache"))
+    req = SweepRequest(
+        label="raw-tcp",
+        library=get_library("raw-tcp"),
+        config=configs.pc_netgear_ga620(),
+        sizes=(64, 4096),
+    )
+    # warm the cache untraced
+    execute_sweeps([req], cache=cache)
+    results, report = execute_sweeps([req], cache=cache, trace=True)
+    assert report.cache_hits == 0 and report.sweeps_simulated == 1
+    assert "raw-tcp" in report.traces
+
+
+def test_executor_events_live_on_the_report_recorder():
+    from repro.exec.scheduler import RunReport
+
+    report = RunReport(workers=1)
+    report.record_event("curve", 2, "timeout", "deadline blown")
+    (event,) = report.events
+    assert (event.label, event.attempt, event.kind) == ("curve", 2, "timeout")
+    assert "deadline" in event.detail
+    (span,) = report.obs.spans_by_cat("exec-event")
+    assert span.name == "exec.timeout" and span.is_point
+    assert "timeout" in report.render()

@@ -89,14 +89,38 @@ def test_timeline_empty_trace():
     assert Tracer().render_timeline() == "(empty trace)"
 
 
-def test_tracer_validates_kinds_and_intervals():
+def test_tracer_validates_intervals():
     t = Tracer()
-    with pytest.raises(ValueError):
-        t.record(0, "nonsense", "", 0.0, 1.0)
     with pytest.raises(ValueError):
         t.record(0, "send", "", 2.0, 1.0)
     with pytest.raises(ValueError):
         Tracer().span()
+
+
+def test_unknown_kind_kept_and_rendered_as_fallback_lane():
+    """Unregistered activity kinds are recorded, not rejected, and show
+    up in the timeline under the '?' lane code."""
+    t = Tracer()
+    t.record(0, "probe", "library-specific lane", 0.0, 1.0)
+    assert t.events[0].kind == "probe"
+    assert t.time_by_kind(0) == {"probe": pytest.approx(1.0)}
+    art = t.render_timeline(width=10)
+    assert "?" in art
+
+
+def test_trace_events_share_the_obs_export_path():
+    """A program trace is obs spans: to_recorder() feeds the same
+    Chrome-trace exporter the protocol traces use."""
+    from repro.obs import Span, to_chrome_trace
+
+    tracer = traced_run(MpLite(), pingpong)
+    assert all(isinstance(e, Span) for e in tracer.events)
+    rec = tracer.to_recorder(meta={"label": "pingpong"})
+    doc = to_chrome_trace(rec)
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "send" in names and "recv" in names
+    tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert tids == {0, 1}
 
 
 def test_trace_event_duration():
