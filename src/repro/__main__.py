@@ -11,7 +11,7 @@ Commands
 ``export``               write per-figure np.out/json curve files
 ``cpu``                  host-CPU availability per transport
 ``loopback``             live two-process NetPIPE over loopback TCP
-``check``                determinism & cache-safety static analysis
+``check``                protocol-flow, dimension & determinism static analysis
 ``trace``                record a Chrome/Perfetto protocol trace
 
 ``figures``/``figure`` also accept ``--trace FILE`` to record the
@@ -379,7 +379,7 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser(
-        "check", help="determinism & cache-safety static analysis"
+        "check", help="protocol-flow, dimension & determinism static analysis"
     )
     p.add_argument(
         "check_args", nargs=argparse.REMAINDER, metavar="...",

@@ -194,43 +194,77 @@ def _directive_module(source: str) -> str | None:
 _UNSET = object()
 
 
+def analyze_project(
+    project,
+    policy: Policy = DEFAULT_POLICY,
+    rules: frozenset[str] | set[str] | None = None,
+) -> list[Finding]:
+    """Run every applicable rule family over a built Project.
+
+    Per-module families see one :class:`ModuleContext` at a time;
+    project-scope families (``check_project``) see the whole graph and
+    have their findings filtered afterwards by the policy scope of the
+    module each finding lands in.  ``rules`` (when given) is the set of
+    rule ids to keep — families with no selected rule are skipped
+    entirely; ``parse-error`` is always reported.
+    """
+    from repro.check.rules import FAMILIES, PROJECT_FAMILIES
+
+    def selected(family) -> bool:
+        return rules is None or bool(set(family.RULES) & rules)
+
+    raw: list[Finding] = list(project.errors)
+    for family in FAMILIES:
+        if not selected(family):
+            continue
+        for ctx in project.modules:
+            if policy.family_applies(family.FAMILY, ctx.module):
+                raw.extend(family.check(ctx))
+    for family in PROJECT_FAMILIES:
+        if not selected(family):
+            continue
+        for finding in family.check_project(project):
+            module = project.module_for_path(finding.path)
+            if policy.family_applies(family.FAMILY, module):
+                raw.append(finding)
+
+    suppressions_by_path: dict[str, dict[int, set[str]]] = {}
+    out: list[Finding] = []
+    for finding in raw:
+        module = project.module_for_path(finding.path)
+        if not policy.rule_applies(finding.rule, module):
+            continue
+        if (
+            rules is not None
+            and finding.rule not in rules
+            and finding.rule != "parse-error"
+        ):
+            continue
+        if finding.path not in suppressions_by_path:
+            source = project.source_for_path(finding.path)
+            suppressions_by_path[finding.path] = (
+                collect_suppressions(source) if source is not None else {}
+            )
+        if _suppressed(finding, suppressions_by_path[finding.path]):
+            continue
+        out.append(finding)
+    return sorted(out)
+
+
 def analyze_source(
     source: str,
     path: str = "<string>",
     module: object = _UNSET,
     policy: Policy = DEFAULT_POLICY,
+    rules: frozenset[str] | set[str] | None = None,
 ) -> list[Finding]:
     """Run every applicable rule family over one module's source."""
     if module is _UNSET:
         module = _directive_module(source) or module_name_for_path(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) or 1,
-                rule="parse-error",
-                message=f"cannot parse: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(path=path, module=module, tree=tree, source=source)
+    from repro.check.project import Project
 
-    from repro.check.rules import FAMILIES
-
-    raw: list[Finding] = []
-    for family in FAMILIES:
-        if policy.family_applies(family.FAMILY, module):
-            raw.extend(family.check(ctx))
-
-    suppressions = collect_suppressions(source)
-    return sorted(
-        f
-        for f in raw
-        if policy.rule_applies(f.rule, module)
-        and not _suppressed(f, suppressions)
-    )
+    project = Project.from_source(source, path=path, module=module, derive=False)
+    return analyze_project(project, policy=policy, rules=rules)
 
 
 def analyze_file(
@@ -260,10 +294,18 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
 
 
 def analyze_paths(
-    paths: Sequence[str | Path], policy: Policy = DEFAULT_POLICY
+    paths: Sequence[str | Path],
+    policy: Policy = DEFAULT_POLICY,
+    cache=None,
+    rules: frozenset[str] | set[str] | None = None,
 ) -> list[Finding]:
-    """Analyze files and directory trees; findings sorted by location."""
-    findings: list[Finding] = []
-    for file in iter_python_files(paths):
-        findings.extend(analyze_file(file, policy=policy))
-    return sorted(findings)
+    """Analyze files and directory trees; findings sorted by location.
+
+    All files are loaded into one :class:`~repro.check.project.Project`
+    first so cross-module families can resolve names between them.
+    ``cache`` is an optional :class:`~repro.check.project.AstCache`.
+    """
+    from repro.check.project import Project
+
+    project = Project.from_paths(paths, cache=cache)
+    return analyze_project(project, policy=policy, rules=rules)

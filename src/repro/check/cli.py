@@ -1,25 +1,32 @@
 """``repro-check`` / ``python -m repro check`` — run the analyzer.
 
-Exit status: 0 clean, 1 findings, 2 usage or filesystem errors.
+Exit status: 0 clean, 1 findings, 2 usage or filesystem errors — an
+unknown rule id in ``--rules`` is a usage error (exit 2), never a
+silent no-op.
 
 ::
 
     $ repro-check src
-    src is clean: 0 findings in 89 files
+    src is clean: 0 findings in 108 files
 
     $ repro-check tests/check_fixtures/det_bad.py
     tests/check_fixtures/det_bad.py:12:12: det-wallclock use of 'time.time' ...
     1 finding in 1 file
+
+    $ repro-check src --rules 'det-*,dim-*'        # only those families
+    $ repro-check src --format sarif > check.sarif # for code scanning
+    $ repro-check src --cache .repro-cache/ast     # skip unchanged parses
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from typing import Sequence
 
-from repro.check.analyzer import analyze_paths, iter_python_files
+from repro.check.analyzer import analyze_project
 from repro.check.config import DEFAULT_POLICY
 
 
@@ -34,13 +41,39 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _expand_rule_patterns(spec: str) -> frozenset[str]:
+    """Rule ids selected by a comma-separated glob list.
+
+    Every pattern must match at least one known rule id; a typo'd
+    ``--rules det-wallclok`` must fail loudly (exit 2), not silently
+    analyze nothing.
+    """
+    from repro.check.rules import RULES
+
+    selected: set[str] = set()
+    for pattern in (p.strip() for p in spec.split(",")):
+        if not pattern:
+            continue
+        matched = fnmatch.filter(RULES, pattern)
+        if not matched:
+            raise ValueError(
+                f"unknown rule id or pattern {pattern!r} "
+                "(see --list-rules)"
+            )
+        selected.update(matched)
+    if not selected:
+        raise ValueError("--rules selected no rules")
+    return frozenset(selected)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="repro-check",
         description=(
-            "Determinism & cache-safety static analyzer for the "
-            "repro simulation core (see docs/STATIC_ANALYSIS.md)."
+            "Determinism, protocol-flow and unit-dimension static "
+            "analyzer for the repro simulation core "
+            "(see docs/STATIC_ANALYSIS.md)."
         ),
     )
     parser.add_argument(
@@ -51,9 +84,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="PATTERNS",
+        help=(
+            "comma-separated rule ids or globs to run "
+            "(e.g. 'det-*,dim-*'); unknown ids exit 2"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help=(
+            "on-disk AST cache directory keyed by file content digest; "
+            "a warm re-run parses zero unchanged files"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report parsed vs cache-hit file counts on stderr",
     )
     parser.add_argument(
         "--list-rules",
@@ -66,34 +120,58 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_list_rules())
         return 0
 
+    rules = None
+    if args.rules is not None:
+        try:
+            rules = _expand_rule_patterns(args.rules)
+        except ValueError as exc:
+            print(f"repro-check: {exc}", file=sys.stderr)
+            return 2
+
+    from repro.check.project import AstCache, Project
+
+    cache = AstCache(args.cache) if args.cache else None
     try:
-        files = list(iter_python_files(args.paths))
-        findings = analyze_paths(args.paths, policy=DEFAULT_POLICY)
+        project = Project.from_paths(args.paths, cache=cache)
     except FileNotFoundError as exc:
         print(f"repro-check: {exc}", file=sys.stderr)
         return 2
+    findings = analyze_project(project, policy=DEFAULT_POLICY, rules=rules)
+    nfiles = project.stats.files
+
+    if args.stats:
+        print(
+            f"repro-check: {nfiles} files, "
+            f"{project.stats.parsed} parsed, "
+            f"{project.stats.cache_hits} from AST cache",
+            file=sys.stderr,
+        )
 
     if args.format == "json":
         print(
             json.dumps(
                 {
-                    "files": len(files),
+                    "files": nfiles,
                     "count": len(findings),
                     "findings": [f.to_dict() for f in findings],
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        from repro.check.sarif import to_sarif
+
+        print(json.dumps(to_sarif(findings, args.paths), indent=2))
     else:
         for finding in findings:
             print(finding.render())
         target = ", ".join(str(p) for p in args.paths)
-        noun = "file" if len(files) == 1 else "files"
+        noun = "file" if nfiles == 1 else "files"
         if findings:
             plural = "finding" if len(findings) == 1 else "findings"
-            print(f"{len(findings)} {plural} in {len(files)} {noun}")
+            print(f"{len(findings)} {plural} in {nfiles} {noun}")
         else:
-            print(f"{target} is clean: 0 findings in {len(files)} {noun}")
+            print(f"{target} is clean: 0 findings in {nfiles} {noun}")
     return 1 if findings else 0
 
 

@@ -97,6 +97,13 @@ DEFAULT_POLICY = Policy(
         "purity": SIM_PACKAGES + ("repro.obs",),
         "yield-discipline": None,  # a discarded generator is dead code anywhere
         "cache-safety": SIM_PACKAGES + ("repro.obs",),
+        # The generator state machines live in repro.mplib; handshake
+        # pairing and spec reachability are meaningless elsewhere.
+        "protocol-flow": ("repro.mplib",),
+        # SI-unit discipline over the timing models.  Analysis and
+        # reporting layers legitimately hold display units (to_us /
+        # to_mbps output), so they are out of scope.
+        "dimension": ("repro.net", "repro.mplib", "repro.hw"),
     },
     family_exemptions={
         # Live loopback benchmarking: real sockets, real clock — the

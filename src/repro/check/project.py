@@ -1,0 +1,353 @@
+"""Whole-project view for cross-module rule families.
+
+A :class:`Project` is a module graph over a set of analyzed files: one
+:class:`~repro.check.analyzer.ModuleContext` per file, indexed by path
+and by resolved module name, plus lazy per-module import maps and
+top-level definition tables.  Project-scope rule families (protocol
+flow, dimension analysis) use it to resolve a name in one module to
+its definition in another — following ``from x import y`` re-export
+chains — which a per-file analyzer cannot do.
+
+Parsing is the dominant cost of a whole-tree run, so the project
+supports an on-disk AST cache keyed by *content digest*: the SHA-256
+of the file bytes names a pickled AST, and the cache directory is
+versioned by the Python version plus a source digest over the
+``check`` package itself (the same :func:`repro.exec.fingerprint.
+source_digest` machinery that salts the sweep cache).  Editing any
+analyzer source automatically invalidates every cached tree; an
+unchanged tree re-runs with zero parses.  Corrupt or unreadable
+entries are treated as misses, never errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import hashlib
+import os
+import pickle
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.check.analyzer import (
+    Finding,
+    ImportMap,
+    ModuleContext,
+    _directive_module,
+    iter_python_files,
+    module_name_for_path,
+)
+
+#: Bump only on a semantic break in the cache entry format; analyzer
+#: code edits are picked up automatically via the source digest.
+_CACHE_VERSION = "repro-ast-v1"
+
+
+@functools.lru_cache(maxsize=None)
+def ast_cache_salt() -> str:
+    """Version tag naming the cache generation directory.
+
+    Folds in the Python minor version (pickled ASTs are not portable
+    across grammars) and a content digest over the ``check`` package,
+    so editing any rule or driver source starts a fresh generation.
+    """
+    from repro.exec.fingerprint import source_digest
+
+    tag = f"{_CACHE_VERSION}-py{sys.version_info[0]}.{sys.version_info[1]}"
+    digest = source_digest(packages=("check",))
+    return f"{tag}+{digest[:16]}" if digest else tag
+
+
+def file_digest(data: bytes) -> str:
+    """Content digest keying one file's cached AST."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class AstCache:
+    """Content-addressed pickled-AST store under one directory.
+
+    Layout: ``<root>/<salt>/<digest[:2]>/<digest>.ast``.  Writes are
+    atomic (temp file + rename) so a crashed run never leaves a
+    half-written entry; reads treat any unpicklable or non-AST payload
+    as a miss.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root) / ast_cache_salt()
+
+    def _entry(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.ast"
+
+    def get(self, digest: str) -> ast.Module | None:
+        entry = self._entry(digest)
+        try:
+            payload = entry.read_bytes()
+            tree = pickle.loads(payload)
+        except Exception:
+            return None
+        return tree if isinstance(tree, ast.Module) else None
+
+    def put(self, digest: str, tree: ast.Module) -> None:
+        entry = self._entry(digest)
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(pickle.dumps(tree, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.replace(entry)
+        except OSError:
+            pass  # a read-only cache directory degrades to parse-always
+
+
+@dataclass
+class ProjectStats:
+    """Where the trees in one Project build came from."""
+
+    files: int = 0
+    parsed: int = 0
+    cache_hits: int = 0
+
+
+@dataclass
+class _ModuleInfo:
+    """Lazily computed per-module lookup tables."""
+
+    ctx: ModuleContext
+    _imports: ImportMap | None = None
+    _defs: dict[str, ast.stmt] | None = None
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap.from_tree(self.ctx.tree)
+        return self._imports
+
+    @property
+    def defs(self) -> dict[str, ast.stmt]:
+        """Top-level name -> defining statement (class/function/assign)."""
+        if self._defs is None:
+            table: dict[str, ast.stmt] = {}
+            for stmt in self.ctx.tree.body:
+                if isinstance(stmt, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                    table[stmt.name] = stmt
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            table[target.id] = stmt
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    table[stmt.target.id] = stmt
+            self._defs = table
+        return self._defs
+
+
+@dataclass
+class Resolved:
+    """A dotted path resolved to its defining statement.
+
+    ``rest`` holds attribute components past the definition — resolving
+    ``repro.mplib.tcp_base.Route.DAEMON`` lands on the ``Route`` class
+    with ``rest == ("DAEMON",)``.
+    """
+
+    ctx: ModuleContext
+    node: ast.AST
+    rest: tuple[str, ...] = ()
+
+
+class Project:
+    """Module graph over one analyzed file set."""
+
+    def __init__(self) -> None:
+        self._infos: list[_ModuleInfo] = []
+        self._by_path: dict[str, _ModuleInfo] = {}
+        self._by_name: dict[str, _ModuleInfo] = {}
+        #: Parse failures, reported as ``parse-error`` findings.
+        self.errors: list[Finding] = []
+        self.stats = ProjectStats()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Sequence[str | Path],
+        cache: AstCache | None = None,
+    ) -> "Project":
+        """Build from files and directory trees (may raise FileNotFoundError)."""
+        project = cls()
+        for path in iter_python_files(paths):
+            project._load_file(path, cache)
+        return project
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        path: str = "<string>",
+        module: str | None = None,
+        derive: bool = True,
+    ) -> "Project":
+        """Single-module project over in-memory source.
+
+        With ``derive`` (the default), a ``None`` module is resolved
+        from the ``# repro: module=`` directive or the path; pass
+        ``derive=False`` to force an explicit (possibly None) module.
+        """
+        project = cls()
+        project._add_source(source, path, module, derive)
+        return project
+
+    def _load_file(self, path: Path, cache: AstCache | None) -> None:
+        try:
+            data = path.read_bytes()
+            source = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise FileNotFoundError(f"cannot read {path}: {exc}") from exc
+        tree = None
+        if cache is not None:
+            digest = file_digest(data)
+            tree = cache.get(digest)
+        if tree is not None:
+            self.stats.cache_hits += 1
+        else:
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                self.stats.files += 1
+                self.errors.append(
+                    Finding(
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) or 1,
+                        rule="parse-error",
+                        message=f"cannot parse: {exc.msg}",
+                    )
+                )
+                return
+            self.stats.parsed += 1
+            if cache is not None:
+                cache.put(digest, tree)
+        module = _directive_module(source) or module_name_for_path(path)
+        self._add(ModuleContext(str(path), module, tree, source))
+
+    def _add_source(
+        self, source: str, path: str, module: str | None, derive: bool
+    ) -> None:
+        if module is None and derive:
+            module = _directive_module(source) or module_name_for_path(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.stats.files += 1
+            self.errors.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    rule="parse-error",
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            return
+        self._add(ModuleContext(path, module, tree, source))
+
+    def _add(self, ctx: ModuleContext) -> None:
+        info = _ModuleInfo(ctx)
+        self._infos.append(info)
+        self._by_path[ctx.path] = info
+        if ctx.module is not None:
+            self._by_name.setdefault(ctx.module, info)
+        self.stats.files += 1
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def modules(self) -> list[ModuleContext]:
+        return [info.ctx for info in self._infos]
+
+    def module_for_path(self, path: str) -> str | None:
+        info = self._by_path.get(path)
+        return info.ctx.module if info else None
+
+    def source_for_path(self, path: str) -> str | None:
+        info = self._by_path.get(path)
+        return info.ctx.source if info else None
+
+    def imports_of(self, ctx: ModuleContext) -> ImportMap:
+        return self._by_path[ctx.path].imports
+
+    def defs_of(self, ctx: ModuleContext) -> dict[str, ast.stmt]:
+        return self._by_path[ctx.path].defs
+
+    # -- cross-module name resolution -----------------------------------------
+
+    def resolve(self, dotted: str, _depth: int = 0) -> Resolved | None:
+        """Definition of a fully-qualified dotted name, if in-project.
+
+        Splits ``dotted`` at the longest known module prefix, looks the
+        first remaining component up in that module's top-level defs,
+        and follows ``from x import y`` re-exports (``__init__``
+        modules) up to a fixed depth.  Leftover components are returned
+        in :attr:`Resolved.rest`.
+        """
+        if _depth > 10:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            info = self._by_name.get(".".join(parts[:cut]))
+            if info is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return Resolved(info.ctx, info.ctx.tree, ())
+            name, trailing = rest[0], tuple(rest[1:])
+            node = info.defs.get(name)
+            if node is not None:
+                return Resolved(info.ctx, node, trailing)
+            # Re-export: ``from repro.mplib.tcp_base import Route`` in a
+            # package __init__ forwards the lookup to the source module.
+            target = info.imports.names.get(name)
+            if target is not None and target != dotted:
+                return self.resolve(
+                    ".".join([target, *trailing]), _depth=_depth + 1
+                )
+            return None
+        return None
+
+    def resolve_local(self, ctx: ModuleContext, name: str) -> Resolved | None:
+        """Definition of a bare name as seen from inside ``ctx``.
+
+        Checks the module's own top-level defs first, then its import
+        map (resolving cross-module references project-wide).
+        """
+        info = self._by_path[ctx.path]
+        node = info.defs.get(name)
+        if node is not None:
+            return Resolved(ctx, node, ())
+        target = info.imports.names.get(name)
+        if target is not None:
+            return self.resolve(target)
+        return None
+
+    def resolve_base_class(
+        self, ctx: ModuleContext, base: ast.expr
+    ) -> Resolved | None:
+        """ClassDef a base-class expression refers to, if in-project."""
+        if isinstance(base, ast.Name):
+            resolved = self.resolve_local(ctx, base.id)
+        else:
+            dotted = self.imports_of(ctx).resolve(base)
+            resolved = self.resolve(dotted) if dotted else None
+        if resolved and isinstance(resolved.node, ast.ClassDef):
+            return resolved
+        return None
+
+    def iter_classes(self) -> Iterable[tuple[ModuleContext, ast.ClassDef]]:
+        """Every top-level class in the project, with its module."""
+        for info in self._infos:
+            for stmt in info.ctx.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    yield info.ctx, stmt

@@ -43,20 +43,26 @@ CODE_SALT = "repro-sweep-v1"
 SALTED_PACKAGES = ("sim", "net", "mplib", "hw", "core")
 
 
-def source_digest(root: str | Path | None = None) -> str | None:
-    """SHA-256 over the simulation-affecting source files.
+def source_digest(
+    root: str | Path | None = None,
+    packages: Sequence[str] = SALTED_PACKAGES,
+) -> str | None:
+    """SHA-256 over the source files of ``packages``.
 
-    Walks ``<root>/<pkg>/**/*.py`` for each package in
-    :data:`SALTED_PACKAGES` in sorted order, hashing relative path and
-    raw bytes.  ``root`` defaults to the installed ``repro`` package
-    directory.  Returns ``None`` when no source files are found (e.g.
-    running from a frozen archive), which callers treat as "fall back
-    to the plain version prefix".
+    Walks ``<root>/<pkg>/**/*.py`` for each package in ``packages``
+    (default :data:`SALTED_PACKAGES`) in sorted order, hashing relative
+    path and raw bytes.  ``root`` defaults to the installed ``repro``
+    package directory.  Returns ``None`` when no source files are found
+    (e.g. running from a frozen archive), which callers treat as "fall
+    back to the plain version prefix".  Other subsystems reuse this
+    with their own package list — :mod:`repro.check.project` salts its
+    on-disk AST cache with a digest over the ``check`` package so a
+    cache written by one analyzer version is never replayed by another.
     """
     base = Path(root) if root is not None else Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
     seen = False
-    for pkg in SALTED_PACKAGES:
+    for pkg in packages:
         pkg_dir = base / pkg
         if not pkg_dir.is_dir():
             continue

@@ -47,3 +47,20 @@ def mbytes_per_s(megabytes_per_second: float) -> float:
 def kb(kibibytes: float) -> int:
     """Binary kilobytes (KiB, as the paper's '32 kb' buffers) -> bytes."""
     return int(kibibytes * KB)
+
+
+#: Machine-readable dimension table: converter name -> (dimension of
+#: the return value, whether that value is in SI base units or paper
+#: display units).  `repro check`'s dimension rules seed their
+#: inference from this — a call to an ``si`` converter *is* the proof
+#: that a paper-literal constant was converted; a ``display`` converter
+#: produces paper units that must not flow back into the simulation.
+#: Keep in sync with the functions above (tested in test_units.py).
+CONVERTER_DIMENSIONS: dict[str, tuple[str, str]] = {
+    "us": ("time", "si"),
+    "to_us": ("time", "display"),
+    "mbps": ("rate", "si"),
+    "to_mbps": ("rate", "display"),
+    "mbytes_per_s": ("rate", "si"),
+    "kb": ("size", "si"),
+}

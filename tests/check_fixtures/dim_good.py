@@ -1,0 +1,17 @@
+# repro: module=repro.net.fixture_dim_good
+"""Known-good twin: paper constants converted, algebra consistent.
+
+The paper figures enter through :mod:`repro.units` converters, so the
+constants are SI; every expression composes dimensions that agree
+(seconds plus bytes-over-rate is seconds).
+"""
+
+from repro.units import mbps, us
+
+LINK_BANDWIDTH = mbps(900.0)  # paper: 900 Mbps GigE wire rate
+SETUP_LATENCY = us(58.0)  # paper: 58 us one-way latency
+
+
+def transfer_time(nbytes):
+    """First-principles latency/bandwidth transfer model."""
+    return SETUP_LATENCY + nbytes / LINK_BANDWIDTH

@@ -1,0 +1,11 @@
+# repro: module=repro.net.fixture_dim_mbps_bad
+"""Seeded mutant: the paper's '900 Mbps' digit pasted in raw.
+
+Everything in repro is SI bytes per second; 900.0 here is the paper's
+decimal-megabit figure and is off by a factor of 125000.  The name
+says rate, the magnitude says Mbps, and there is no converter call —
+``dim-unconverted`` exists precisely for this OCR-digit failure mode.
+"""
+
+# BUG (seeded): should be mbps(900.0) from repro.units.
+LINK_BANDWIDTH = 900.0  # dim-unconverted: raw paper Mbps constant

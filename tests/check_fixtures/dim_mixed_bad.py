@@ -1,0 +1,13 @@
+# repro: module=repro.net.fixture_dim_mixed_bad
+"""Seeded mutant: arithmetic across physical dimensions.
+
+Adding a byte count to a seconds value is the classic transposition
+slip when transcribing the paper's latency/bandwidth model; the result
+is a wrong-but-plausible curve.  Both operands have *inferable*
+dimensions (parameter names), so ``dim-mixed`` can prove the mismatch.
+"""
+
+
+def refill_stall(nbytes, progress_stall):
+    """Mistranscribed: meant progress_stall + nbytes / bandwidth."""
+    return progress_stall + nbytes  # dim-mixed: seconds + bytes

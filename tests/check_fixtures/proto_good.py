@@ -1,0 +1,39 @@
+# repro: module=repro.mplib.fixture_proto_good
+"""Known-good twin: a correctly paired rendezvous/eager endpoint.
+
+Every tag the active side awaits is sent by the passive side and vice
+versa, the active side always sends before blocking, and the one
+spec-conditioned branch (daemon routing) is reachable — the registry
+universe contains daemon-routed PVM and LAM configurations.
+"""
+
+from repro.mplib.tcp_base import Route
+
+
+class PairedEndpoint:
+    """Eager/rendezvous protocol with matched RTS/CTS/DATA legs."""
+
+    def __init__(self, spec, endpoint, engine):
+        self.spec = spec
+        self.ep = endpoint
+        self.engine = engine
+
+    def _is_rendezvous(self, nbytes):
+        threshold = self.spec.eager_threshold
+        return threshold is not None and nbytes >= threshold
+
+    def send(self, nbytes):
+        spec = self.spec
+        if spec.route is Route.DAEMON:  # reachable: pvm-default, lam-lamd
+            yield self.engine.timeout(spec.daemon_latency)
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.send(spec.header_bytes, tag="rts")
+            yield from self.ep.recv(tag="cts")
+        yield from self.ep.send(nbytes + spec.header_bytes, tag="data")
+
+    def recv(self, nbytes):
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.recv(tag="rts")
+            yield from self.ep.send(self.spec.header_bytes, tag="cts")
+        msg = yield from self.ep.recv(tag="data")
+        return msg

@@ -71,3 +71,85 @@ def test_python_m_repro_check_wiring(capsys):
     assert repro_main(["check", "--list-rules"]) == 0
     assert "yield-discard" in capsys.readouterr().out
     assert repro_main(["check", str(FIXTURES / "det_bad.py")]) == 1
+
+
+# -- rule selection -----------------------------------------------------------
+
+def test_rules_glob_selects_families(capsys):
+    # det_bad.py only violates det-* rules; selecting cache-* silences it.
+    path = FIXTURES / "det_bad.py"
+    assert check_main([str(path), "--rules", "cache-*"]) == 0
+    capsys.readouterr()
+    assert check_main([str(path), "--rules", "det-*"]) == 1
+    out = capsys.readouterr().out
+    assert "det-wallclock" in out
+
+
+def test_rules_exact_ids_compose(capsys):
+    path = FIXTURES / "det_bad.py"
+    assert check_main([str(path), "--rules", "det-random,det-entropy"]) == 1
+    out = capsys.readouterr().out
+    assert "det-wallclock" not in out
+    assert "det-random" in out and "det-entropy" in out
+
+
+def test_unknown_rule_pattern_exits_two(capsys):
+    assert check_main([str(FIXTURES / "det_bad.py"), "--rules", "det-wallclok"]) == 2
+    err = capsys.readouterr().err
+    assert "det-wallclok" in err
+    assert "--list-rules" in err
+
+
+def test_empty_rule_selection_exits_two(capsys):
+    assert check_main([str(FIXTURES / "det_bad.py"), "--rules", ","]) == 2
+    assert "selected no rules" in capsys.readouterr().err
+
+
+def test_parse_error_survives_rule_selection(capsys, tmp_path):
+    # A file the analyzer cannot read must fail even when its rule
+    # family was not selected: parse-error is never filtered out.
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    assert check_main([str(bad), "--rules", "dim-*"]) == 1
+    assert "parse-error" in capsys.readouterr().out
+
+
+# -- SARIF --------------------------------------------------------------------
+
+def test_sarif_output_shape(capsys):
+    assert check_main([str(FIXTURES / "cache_bad.py"), "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-check"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"proto-unmatched", "dim-mixed", "det-wallclock"} <= rule_ids
+    results = run["results"]
+    assert len(results) == 3
+    for result in results:
+        assert result["ruleId"].startswith("cache-")
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("cache_bad.py")
+        assert loc["region"]["startLine"] >= 1
+
+
+def test_sarif_clean_run_has_no_results(capsys):
+    assert check_main([str(FIXTURES / "dim_good.py"), "--format", "sarif"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"][0]["results"] == []
+
+
+# -- AST cache flags ----------------------------------------------------------
+
+def test_cache_flag_and_stats(capsys, tmp_path):
+    cache_dir = tmp_path / "ast-cache"
+    target = str(SRC / "repro" / "check")
+    assert check_main([target, "--cache", str(cache_dir), "--stats"]) == 0
+    cold = capsys.readouterr().err
+    assert "0 from AST cache" in cold
+
+    assert check_main([target, "--cache", str(cache_dir), "--stats"]) == 0
+    warm = capsys.readouterr().err
+    # Warm run: every file served from cache, zero parsed.
+    assert "0 parsed" in warm
+    assert "0 from AST cache" not in warm

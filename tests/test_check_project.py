@@ -1,0 +1,148 @@
+"""The project graph and its content-addressed AST cache."""
+
+import ast
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.check.analyzer import analyze_project, analyze_paths
+from repro.check.project import AstCache, Project, ast_cache_salt, file_digest
+
+pytestmark = pytest.mark.check
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+# -- module graph / cross-module resolution -----------------------------------
+
+def test_project_indexes_modules_by_path_and_name():
+    project = Project.from_paths([SRC / "repro" / "mplib"])
+    path = str(SRC / "repro" / "mplib" / "tcp_base.py")
+    assert project.module_for_path(path) == "repro.mplib.tcp_base"
+    assert project.source_for_path(path).startswith('"""')
+
+
+def test_resolve_crosses_modules():
+    project = Project.from_paths([SRC / "repro" / "mplib"])
+    resolved = project.resolve("repro.mplib.tcp_base.TcpLibSpec")
+    assert resolved is not None
+    assert isinstance(resolved.node, ast.ClassDef)
+    assert resolved.node.name == "TcpLibSpec"
+    assert resolved.rest == ()
+
+
+def test_resolve_returns_trailing_attribute_components():
+    project = Project.from_paths([SRC / "repro" / "mplib"])
+    resolved = project.resolve("repro.mplib.tcp_base.Route.DAEMON")
+    assert resolved is not None
+    assert isinstance(resolved.node, ast.ClassDef)
+    assert resolved.rest == ("DAEMON",)
+
+
+def test_resolve_follows_reexports():
+    # repro.mplib/__init__ re-exports registry names; resolving through
+    # the package path must land on the defining module.
+    project = Project.from_paths([SRC / "repro" / "mplib"])
+    resolved = project.resolve("repro.mplib.REGISTRY")
+    if resolved is None:
+        pytest.skip("repro.mplib does not re-export REGISTRY")
+    assert resolved.ctx.module == "repro.mplib.registry"
+
+
+def test_base_class_resolution_across_files():
+    project = Project.from_paths([SRC / "repro" / "mplib"])
+    path = str(SRC / "repro" / "mplib" / "tcp_base.py")
+    ctx = next(m for m in project.modules if m.path == path)
+    classdef = next(
+        s
+        for s in ctx.tree.body
+        if isinstance(s, ast.ClassDef) and s.name == "TcpLibEndpoint"
+    )
+    resolved = project.resolve_base_class(ctx, classdef.bases[0])
+    assert resolved is not None
+    assert resolved.node.name == "LibEndpoint"
+    assert resolved.ctx.module == "repro.mplib.base"
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    project = Project.from_paths([bad])
+    findings = analyze_project(project)
+    assert [f.rule for f in findings] == ["parse-error"]
+
+
+# -- AST cache ----------------------------------------------------------------
+
+def test_cold_then_warm_cache_parses_zero_files(tmp_path):
+    cache = AstCache(tmp_path / "ast")
+    cold = Project.from_paths([SRC / "repro" / "check"], cache=cache)
+    assert cold.stats.parsed == cold.stats.files > 0
+    assert cold.stats.cache_hits == 0
+
+    warm = Project.from_paths([SRC / "repro" / "check"], cache=cache)
+    assert warm.stats.parsed == 0
+    assert warm.stats.cache_hits == warm.stats.files == cold.stats.files
+
+
+def test_cached_and_fresh_analyses_agree(tmp_path):
+    cache = AstCache(tmp_path / "ast")
+    target = [SRC / "repro" / "mplib"]
+    fresh = analyze_paths(target)
+    analyze_paths(target, cache=cache)  # populate
+    warm = analyze_paths(target, cache=cache)
+    assert warm == fresh
+
+
+def test_changed_content_misses_the_cache(tmp_path):
+    source_a = "x = 1\n"
+    source_b = "x = 2\n"
+    f = tmp_path / "m.py"
+    cache = AstCache(tmp_path / "ast")
+
+    f.write_text(source_a)
+    first = Project.from_paths([f], cache=cache)
+    assert first.stats.parsed == 1
+
+    f.write_text(source_b)
+    second = Project.from_paths([f], cache=cache)
+    assert second.stats.parsed == 1  # digest changed -> miss
+    assert second.stats.cache_hits == 0
+
+
+def test_corrupt_cache_entry_is_a_miss_not_an_error(tmp_path):
+    f = tmp_path / "m.py"
+    f.write_text("value = 40 + 2\n")
+    cache = AstCache(tmp_path / "ast")
+    Project.from_paths([f], cache=cache)
+
+    digest = file_digest(f.read_bytes())
+    entry = cache._entry(digest)
+    assert entry.exists()
+    entry.write_bytes(b"not a pickle")
+    reread = Project.from_paths([f], cache=cache)
+    assert reread.stats.parsed == 1
+    assert reread.stats.cache_hits == 0
+
+    # A pickle of the wrong type is equally a miss.
+    entry.write_bytes(pickle.dumps({"not": "an ast"}))
+    again = Project.from_paths([f], cache=cache)
+    assert again.stats.parsed == 1
+
+
+def test_cache_salt_names_python_version():
+    salt = ast_cache_salt()
+    import sys
+
+    assert f"py{sys.version_info[0]}.{sys.version_info[1]}" in salt
+
+
+def test_readonly_cache_dir_degrades_to_parsing(tmp_path):
+    f = tmp_path / "m.py"
+    f.write_text("x = 1\n")
+    blocked = tmp_path / "file-not-dir"
+    blocked.write_text("")
+    cache = AstCache(blocked / "nested")  # parent is a file: mkdir fails
+    project = Project.from_paths([f], cache=cache)
+    assert project.stats.parsed == 1  # no crash, no hit

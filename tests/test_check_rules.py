@@ -170,3 +170,77 @@ def test_parse_error_is_a_finding():
     findings = analyze_source("def broken(:\n", path="broken.py")
     assert [f.rule for f in findings] == ["parse-error"]
     assert findings[0].line >= 1
+
+
+# -- protocol-flow ------------------------------------------------------------
+
+def test_proto_unmatched_fires_on_deleted_cts_leg():
+    name = "proto_unmatched_bad.py"
+    found = rules_with_lines(name)
+    assert found == [
+        ("proto-unmatched", fixture_line(name, "# proto-unmatched: no reply leg")),
+    ]
+
+
+def test_proto_deadlock_fires_on_symmetric_blocking_recv():
+    name = "proto_deadlock_bad.py"
+    found = rules_with_lines(name)
+    assert found == [
+        ("proto-deadlock", fixture_line(name, "# proto-deadlock: recv-first")),
+    ]
+
+
+def test_proto_dead_branch_fires_on_unsatisfiable_spec_guard():
+    name = "proto_deadbranch_bad.py"
+    found = rules_with_lines(name)
+    assert found == [
+        ("proto-dead-branch",
+         fixture_line(name, "# proto-dead-branch: never satisfiable")),
+    ]
+
+
+def test_paired_endpoint_with_reachable_branches_is_clean():
+    assert rules("proto_good.py") == []
+
+
+def test_protocol_rules_scope_to_mplib_only():
+    # The identical broken endpoint declared under repro.analysis is out
+    # of protocol-flow's policy scope and must stay silent.
+    source = (FIXTURES / "proto_unmatched_bad.py").read_text().replace(
+        "# repro: module=repro.mplib.fixture_proto_unmatched_bad",
+        "# repro: module=repro.analysis.fixture_proto_unmatched_bad",
+    )
+    findings = analyze_source(source, path="proto_unmatched_bad.py")
+    assert findings == []
+
+
+# -- dimension ----------------------------------------------------------------
+
+def test_dim_unconverted_fires_on_raw_mbps_constant():
+    name = "dim_mbps_bad.py"
+    found = rules_with_lines(name)
+    assert found == [
+        ("dim-unconverted",
+         fixture_line(name, "# dim-unconverted: raw paper Mbps constant")),
+    ]
+
+
+def test_dim_mixed_fires_on_seconds_plus_bytes():
+    name = "dim_mixed_bad.py"
+    found = rules_with_lines(name)
+    assert found == [
+        ("dim-mixed", fixture_line(name, "# dim-mixed: seconds + bytes")),
+    ]
+
+
+def test_converted_constants_and_consistent_algebra_are_clean():
+    assert rules("dim_good.py") == []
+
+
+def test_dimension_rules_scope_excludes_reporting():
+    source = (FIXTURES / "dim_mbps_bad.py").read_text().replace(
+        "# repro: module=repro.net.fixture_dim_mbps_bad",
+        "# repro: module=repro.reporting.fixture_dim_mbps_bad",
+    )
+    findings = analyze_source(source, path="dim_mbps_bad.py")
+    assert findings == []

@@ -51,3 +51,22 @@ def test_every_analyzed_source_module_resolves_a_name():
     for path in iter_python_files([SRC]):
         module = module_name_for_path(path)
         assert module and module.startswith("repro"), path
+
+
+def test_protocol_flow_scopes_to_mplib_only():
+    # Endpoint state machines live in repro.mplib; pairing analysis on
+    # anything else would only produce noise.
+    assert DEFAULT_POLICY.family_applies("protocol-flow", "repro.mplib.tcp_base")
+    for module in ("repro.net.tcp", "repro.sim.engine", "repro.analysis.fit"):
+        assert not DEFAULT_POLICY.family_applies("protocol-flow", module)
+
+
+def test_dimension_scope_is_the_modelled_physics():
+    # Dimension discipline matters where paper constants become model
+    # arithmetic: the network, library, and hardware layers.
+    for module in ("repro.net.tcp", "repro.mplib.mpich", "repro.hw.nic"):
+        assert DEFAULT_POLICY.family_applies("dimension", module)
+    # Analysis/reporting juggle display units (µs axes, Mbps labels)
+    # on purpose and must stay out of scope.
+    for module in ("repro.analysis.fit", "repro.reporting.figures"):
+        assert not DEFAULT_POLICY.family_applies("dimension", module)

@@ -33,3 +33,19 @@ def test_kb_is_binary():
 
 def test_bits_per_byte():
     assert BITS_PER_BYTE == 8
+
+
+def test_converter_dimension_table_covers_every_converter():
+    # repro.check's dimension rules key off this table; a converter
+    # missing from it silently escapes dim-* analysis.
+    import repro.units as units
+
+    public_callables = {
+        name
+        for name in dir(units)
+        if not name.startswith("_") and callable(getattr(units, name))
+    }
+    assert set(units.CONVERTER_DIMENSIONS) == public_callables
+    for dimension, role in units.CONVERTER_DIMENSIONS.values():
+        assert dimension in {"time", "size", "rate"}
+        assert role in {"si", "display"}
