@@ -1,0 +1,86 @@
+"""Bench: analytic fast tier vs cold simulation.
+
+Times all of figure 1 (full NetPIPE schedule) through the event engine
+and through ``execute_sweeps(tier="auto")`` once the analytic tier is
+warm, and prints both the end-to-end and the evaluation-level speedups.
+The acceptance bar is the issue's: a full size sweep must evaluate at
+least 100x faster analytically than a cold simulated sweep.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+
+from repro.analytic import predict_sweep
+from repro.core.pingpong import measure_sweep
+from repro.core.sizes import netpipe_sizes
+from repro.exec import execute_sweeps
+from repro.experiments.figures import FIG1
+from repro.sim import Engine
+
+pytestmark = pytest.mark.analytic
+
+
+def _best_of(fn, repeat: int) -> tuple[float, object]:
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_bench_analytic_speedup():
+    requests = FIG1.sweep_requests()
+
+    # Warm the analytic tier once: numpy import, bands.json load, and
+    # the fingerprint memos are one-time process costs, not per-sweep.
+    execute_sweeps(requests, tier="auto")
+
+    t_sim, (_, sim_report) = _best_of(
+        lambda: execute_sweeps(requests, tier="sim"), repeat=2
+    )
+    assert sim_report.sweeps_simulated == len(requests)
+
+    # The analytic runs are sub-millisecond, so scheduler jitter is a
+    # real fraction of one sample: take the best of many cheap runs.
+    t_ana, (_, ana_report) = _best_of(
+        lambda: execute_sweeps(requests, tier="auto"), repeat=15
+    )
+    assert ana_report.sweeps_analytic == len(requests)
+
+    # Evaluation-level twin: one curve, closed form vs a fresh engine.
+    entry = FIG1.entries[0]
+    sizes = netpipe_sizes()
+
+    def engine_once():
+        engine = Engine()
+        a, b = entry.library.build(engine, entry.config)
+        return measure_sweep(engine, a, b, sizes)
+
+    t_engine, _ = _best_of(engine_once, repeat=3)
+    t_eval, _ = _best_of(
+        lambda: predict_sweep(entry.library, entry.config), repeat=25
+    )
+
+    end_to_end = t_sim / t_ana
+    eval_level = t_engine / t_eval
+    report(
+        "Analytic fast tier: figure 1, full NetPIPE schedule",
+        f"cold simulation      {t_sim * 1e3:8.2f} ms  "
+        f"({len(requests)} sweeps)\n"
+        f"analytic (tier=auto) {t_ana * 1e3:8.2f} ms  "
+        f"-> {end_to_end:.0f}x end-to-end\n"
+        f"one engine sweep     {t_engine * 1e3:8.2f} ms\n"
+        f"one predict_sweep    {t_eval * 1e6:8.0f} us  "
+        f"-> {eval_level:.0f}x per curve",
+    )
+    assert eval_level >= 100, (
+        f"analytic evaluation only {eval_level:.0f}x faster than the engine"
+    )
+    assert end_to_end >= 100, (
+        f"tier=auto only {end_to_end:.0f}x faster than cold simulation"
+    )

@@ -15,7 +15,9 @@ Commands
 ``trace``                record a Chrome/Perfetto protocol trace
 
 ``figures``/``figure`` also accept ``--trace FILE`` to record the
-run's protocol events alongside the normal output.
+run's protocol events alongside the normal output, and — like
+``export`` — ``--tier sim|auto|analytic`` to route curves through the
+closed-form analytic fast tier (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ def _trace_path(template: str, fig_id: str, multi: bool) -> str:
 def cmd_figures(args: argparse.Namespace) -> int:
     """Run figures (all or one) and audit their anchors."""
     from repro.core.report import format_comparison
+    from repro.exec import SweepExecutionError
     from repro.experiments import ALL_FIGURES
 
     cache = _sweep_cache(args)
@@ -52,11 +55,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
     status = 0
     for fig in figures:
         print(f"\n{'=' * 78}\n{fig.title}\n{'=' * 78}")
-        results, exec_report = fig.run_with_report(
-            max_workers=args.workers, cache=cache,
-            timeout=args.timeout, retries=args.retries,
-            trace=trace_out is not None,
-        )
+        try:
+            results, exec_report = fig.run_with_report(
+                max_workers=args.workers, cache=cache,
+                timeout=args.timeout, retries=args.retries,
+                trace=trace_out is not None, tier=args.tier,
+            )
+        except SweepExecutionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(format_comparison(results))
         print()
         print(exec_report.render())
@@ -168,16 +175,23 @@ def cmd_export(args: argparse.Namespace) -> int:
     import os
 
     from repro.core.io import save_netpipe_out, save_result
+    from repro.exec import SweepExecutionError
     from repro.experiments import ALL_FIGURES
 
     os.makedirs(args.directory, exist_ok=True)
     cache = _sweep_cache(args)
     count = 0
     for fig in ALL_FIGURES:
-        for label, result in fig.run(
-            max_workers=args.workers, cache=cache,
-            timeout=args.timeout, retries=args.retries,
-        ).items():
+        try:
+            curves = fig.run(
+                max_workers=args.workers, cache=cache,
+                timeout=args.timeout, retries=args.retries,
+                tier=args.tier,
+            )
+        except SweepExecutionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for label, result in curves.items():
             slug = label.lower().replace("/", "-").replace(" ", "")
             base = os.path.join(args.directory, f"{fig.id}.{slug}")
             save_netpipe_out(result, base + ".np.out")
@@ -305,6 +319,15 @@ def main(argv: list[str] | None = None) -> int:
                  "(default $REPRO_EXEC_RETRIES or 2)",
         )
 
+    def add_tier_option(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--tier", choices=["sim", "analytic", "auto"], default=None,
+            help="execution tier: 'sim' always runs the event engine, "
+                 "'auto' answers engine-validated configs with the "
+                 "closed-form analytic model, 'analytic' demands it "
+                 "(default $REPRO_EXEC_TIER or sim)",
+        )
+
     def add_trace_flag(sp: argparse.ArgumentParser) -> None:
         sp.add_argument(
             "--trace", default=None, metavar="FILE",
@@ -314,12 +337,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("figures", help="run all figures with anchor audits")
     add_exec_options(p)
+    add_tier_option(p)
     add_trace_flag(p)
     p.set_defaults(func=cmd_figures, figure=None)
 
     p = sub.add_parser("figure", help="run one figure")
     p.add_argument("figure", choices=["fig1", "fig2", "fig3", "fig4", "fig5"])
     add_exec_options(p)
+    add_tier_option(p)
     add_trace_flag(p)
     p.set_defaults(func=cmd_figures)
 
@@ -376,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("export", help="write np.out/json files per figure")
     p.add_argument("directory", nargs="?", default="curves")
     add_exec_options(p)
+    add_tier_option(p)
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser(

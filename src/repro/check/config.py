@@ -93,17 +93,24 @@ DEFAULT_POLICY = Policy(
     family_scopes={
         # repro.obs records *simulated* time only, so it is held to the
         # same determinism and purity bar as the simulation itself.
-        "determinism": SIM_PACKAGES + ("repro.exec", "repro.obs"),
-        "purity": SIM_PACKAGES + ("repro.obs",),
+        # repro.analytic computes the same curves closed-form, so it is
+        # held to the same bar too: a nondeterministic prediction could
+        # silently diverge from the engine it was validated against.
+        "determinism": SIM_PACKAGES + (
+            "repro.exec", "repro.obs", "repro.analytic",
+        ),
+        "purity": SIM_PACKAGES + ("repro.obs", "repro.analytic"),
         "yield-discipline": None,  # a discarded generator is dead code anywhere
-        "cache-safety": SIM_PACKAGES + ("repro.obs",),
+        "cache-safety": SIM_PACKAGES + ("repro.obs", "repro.analytic"),
         # The generator state machines live in repro.mplib; handshake
         # pairing and spec reachability are meaningless elsewhere.
         "protocol-flow": ("repro.mplib",),
         # SI-unit discipline over the timing models.  Analysis and
         # reporting layers legitimately hold display units (to_us /
         # to_mbps output), so they are out of scope.
-        "dimension": ("repro.net", "repro.mplib", "repro.hw"),
+        "dimension": (
+            "repro.net", "repro.mplib", "repro.hw", "repro.analytic",
+        ),
     },
     family_exemptions={
         # Live loopback benchmarking: real sockets, real clock — the
@@ -118,7 +125,10 @@ DEFAULT_POLICY = Policy(
     },
     rule_exemptions={
         # The sanctioned places for file I/O: baseline/result
-        # (de)serialization, and the obs trace-file writers.
-        "pure-open": ("repro.core.io", "repro.obs.export"),
+        # (de)serialization, the obs trace-file writers, and the
+        # analytic tolerance-band store.
+        "pure-open": (
+            "repro.core.io", "repro.obs.export", "repro.analytic.bands",
+        ),
     },
 )

@@ -5,6 +5,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.units import to_mbps, to_us
 
@@ -35,7 +36,40 @@ class NetPipeResult:
     points: list[NetPipePoint] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.points = sorted(self.points, key=lambda p: p.size)
+        # attrgetter, not a lambda: results are built once per sweep but
+        # sweeps are built by the thousand on the analytic tier, where
+        # 66 Python-level key calls would be a measurable slice.
+        self.points = sorted(self.points, key=attrgetter("size"))
+
+    @classmethod
+    def from_columns(
+        cls,
+        library: str,
+        config: str,
+        sizes: "list[int]",
+        oneway_times: "list[float]",
+    ) -> "NetPipeResult":
+        """Bulk-build a result from parallel size/time columns.
+
+        The analytic tier emits whole curves in microseconds, at which
+        point :class:`NetPipePoint`'s frozen-dataclass ``__init__``
+        (two ``object.__setattr__`` dispatches per point) becomes the
+        single largest cost of a sweep.  This constructor fills each
+        point's ``__dict__`` directly — the same mechanism pickle uses
+        to restore frozen instances, and safe here because
+        :class:`NetPipePoint` carries no validation or ``__slots__``.
+        The points are equal to (and indistinguishable from) normally
+        constructed ones.
+        """
+        new = NetPipePoint.__new__
+        points = []
+        append = points.append
+        for size, t in zip(sizes, oneway_times):
+            point = new(NetPipePoint)
+            point.__dict__["size"] = size
+            point.__dict__["oneway_time"] = t
+            append(point)
+        return cls(library=library, config=config, points=points)
 
     # -- scalar summaries -------------------------------------------------------
     @property

@@ -9,6 +9,8 @@ give the "complete test of the system" the paper relies on.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.units import MB
 
 #: NetPIPE's default perturbation offset.
@@ -18,15 +20,14 @@ DEFAULT_PERTURBATION = 3
 DEFAULT_MAX_SIZE = 8 * MB
 
 
-def netpipe_sizes(
-    start: int = 1,
-    stop: int = DEFAULT_MAX_SIZE,
-    perturbation: int = DEFAULT_PERTURBATION,
-) -> list[int]:
-    """The classic NetPIPE schedule: doubling targets with ±delta.
+@lru_cache(maxsize=64)
+def _schedule(start: int, stop: int, perturbation: int) -> tuple[int, ...]:
+    """The memoized schedule body: a pure function of three ints.
 
-    Returns a sorted, de-duplicated list of message sizes in
-    ``[start, stop]``, always including ``start`` and ``stop``.
+    Cached because the default schedule is rebuilt on every sweep (the
+    executor validates each result against it, and the analytic tier
+    requests it per curve) and the set-build-and-sort costs more than
+    an entire closed-form curve evaluation.
     """
     if start < 1:
         raise ValueError("start must be >= 1")
@@ -42,7 +43,21 @@ def netpipe_sizes(
             if start <= candidate <= stop:
                 sizes.add(candidate)
         target *= 2
-    return sorted(sizes)
+    return tuple(sorted(sizes))
+
+
+def netpipe_sizes(
+    start: int = 1,
+    stop: int = DEFAULT_MAX_SIZE,
+    perturbation: int = DEFAULT_PERTURBATION,
+) -> list[int]:
+    """The classic NetPIPE schedule: doubling targets with ±delta.
+
+    Returns a sorted, de-duplicated list of message sizes in
+    ``[start, stop]``, always including ``start`` and ``stop``.  Each
+    call returns a fresh list (the memo holds an immutable tuple).
+    """
+    return list(_schedule(start, stop, perturbation))
 
 
 def latency_sizes(limit: int = 64) -> list[int]:

@@ -29,7 +29,9 @@ from repro.exec.fingerprint import (
 )
 from repro.exec.scheduler import (
     RETRIES_ENV,
+    TIER_ENV,
     TIMEOUT_ENV,
+    VALID_TIERS,
     WORKERS_ENV,
     ExecEvent,
     RunReport,
@@ -37,6 +39,7 @@ from repro.exec.scheduler import (
     SweepRequest,
     SweepStats,
     default_retries,
+    default_tier,
     default_timeout,
     default_workers,
     execute_sweeps,
@@ -52,11 +55,14 @@ __all__ = [
     "SweepExecutionError",
     "SweepRequest",
     "SweepStats",
+    "TIER_ENV",
     "TIMEOUT_ENV",
+    "VALID_TIERS",
     "WORKERS_ENV",
     "canonicalize",
     "code_salt",
     "default_retries",
+    "default_tier",
     "default_timeout",
     "default_workers",
     "source_digest",

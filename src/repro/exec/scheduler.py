@@ -43,11 +43,23 @@ by :meth:`RunReport.render`.  Deterministic fault *injection* for
 exercising these paths lives in :mod:`repro.faults` and enters through
 the ``fault_plan=`` hook — a single ``is not None`` check when unused.
 
+Since the analytic fast tier (:mod:`repro.analytic`) landed, the
+executor also routes between **tiers**: ``tier="sim"`` (the default)
+always runs the event engine; ``tier="auto"`` answers every request
+whose (library × config) pair has an engine-validated tolerance band
+with the closed-form model — microseconds instead of milliseconds —
+and falls back to simulation for everything out of band;
+``tier="analytic"`` demands the fast path and raises
+:class:`SweepExecutionError` for any unvalidated request.  Analytic
+results are validated like simulated ones and cached under their own
+fingerprint salt (:func:`repro.analytic.analytic_cache_salt`), so the
+two tiers can never poison each other's cache entries.
+
 Environment knobs: ``$REPRO_EXEC_WORKERS`` (worker count),
 ``$REPRO_EXEC_TIMEOUT`` (seconds per sweep attempt),
-``$REPRO_EXEC_RETRIES`` (extra attempts per sweep), and
-``$REPRO_SWEEP_CACHE`` (default cache directory, see
-:mod:`repro.exec.cache`).
+``$REPRO_EXEC_RETRIES`` (extra attempts per sweep),
+``$REPRO_EXEC_TIER`` (default tier), and ``$REPRO_SWEEP_CACHE``
+(default cache directory, see :mod:`repro.exec.cache`).
 """
 
 from __future__ import annotations
@@ -71,6 +83,7 @@ from repro.obs.recorder import Recorder
 from repro.sim import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analytic.bands import BandStore
     from repro.faults.plan import FaultPlan
 
 #: Environment variable overriding the default worker count.
@@ -79,6 +92,11 @@ WORKERS_ENV = "REPRO_EXEC_WORKERS"
 TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT"
 #: Environment variable setting the default retry budget per sweep.
 RETRIES_ENV = "REPRO_EXEC_RETRIES"
+#: Environment variable setting the default execution tier.
+TIER_ENV = "REPRO_EXEC_TIER"
+
+#: The recognised execution tiers.
+VALID_TIERS = ("sim", "analytic", "auto")
 
 #: Extra attempts per sweep when neither ``retries=`` nor the env var says.
 DEFAULT_RETRIES = 2
@@ -134,6 +152,23 @@ def default_retries() -> int:
     return _env_int(RETRIES_ENV, default=DEFAULT_RETRIES, minimum=0)
 
 
+def default_tier() -> str:
+    """Execution tier from ``$REPRO_EXEC_TIER``, defaulting to ``sim``.
+
+    ``sim`` is the conservative default: the analytic tier is opt-in
+    (per call or via the env var), so existing runs — and the golden
+    curves they are checked against — keep simulating unless asked.
+    """
+    raw = os.environ.get(TIER_ENV, "").strip().lower()
+    if not raw:
+        return "sim"
+    if raw not in VALID_TIERS:
+        raise ValueError(
+            f"${TIER_ENV} must be one of {', '.join(VALID_TIERS)}, got {raw!r}"
+        )
+    return raw
+
+
 @dataclass(frozen=True)
 class SweepRequest:
     """One sweep to execute: a labelled (library, config) pair.
@@ -172,6 +207,7 @@ class SweepStats:
     events_processed: int  # engine events (0 for cache hits)
     attempts: int = 1  # total attempts, including abandoned/failed ones
     timed_out: bool = False  # True if any attempt blew the deadline
+    tier: str = "sim"  # which tier answered: "sim" or "analytic"
 
 
 @dataclass(frozen=True)
@@ -243,11 +279,19 @@ class RunReport:
     @property
     def sweeps_simulated(self) -> int:
         """How many sweeps actually ran the engine (0 on a warm cache)."""
-        return sum(1 for s in self.stats if not s.cached)
+        return sum(1 for s in self.stats if not s.cached and s.tier == "sim")
+
+    @property
+    def sweeps_analytic(self) -> int:
+        """How many sweeps the closed-form tier computed (cache hits of
+        previously computed analytic curves count as cached, not here)."""
+        return sum(
+            1 for s in self.stats if not s.cached and s.tier == "analytic"
+        )
 
     @property
     def cache_hits(self) -> int:
-        """How many sweeps were answered from the cache."""
+        """How many sweeps were answered from the cache (either tier)."""
         return sum(1 for s in self.stats if s.cached)
 
     @property
@@ -274,11 +318,17 @@ class RunReport:
         """Multi-line human-readable report (one line per sweep/event)."""
         lines = [
             f"executor report: {len(self.stats)} sweeps, "
-            f"{self.sweeps_simulated} simulated, {self.cache_hits} cached, "
+            f"{self.sweeps_simulated} simulated, "
+            f"{self.sweeps_analytic} analytic, {self.cache_hits} cached, "
             f"{self.workers} worker(s)",
         ]
         for s in self.stats:
-            source = "cache" if s.cached else f"{s.elapsed * 1e3:8.1f} ms"
+            if s.cached:
+                source = "cache"
+            elif s.tier == "analytic":
+                source = "analytic"
+            else:
+                source = f"{s.elapsed * 1e3:8.1f} ms"
             flags = ""
             if s.attempts > 1:
                 flags += f"  x{s.attempts} attempts"
@@ -367,19 +417,31 @@ def _validate_result(request: SweepRequest, result: NetPipeResult) -> str | None
     content-addressed cache.
     """
     sizes = request.sizes if request.sizes is not None else netpipe_sizes()
-    if len(result.points) != len(sizes):
+    points = result.points
+    if len(points) != len(sizes):
         return (
             f"expected {len(sizes)} points for the size schedule, "
-            f"got {len(result.points)}"
+            f"got {len(points)}"
         )
-    for point, size in zip(result.points, sizes):
-        if point.size != size:
-            return f"point size {point.size} does not match schedule size {size}"
-        if not (isfinite(point.oneway_time) and point.oneway_time > 0):
-            return (
-                f"non-physical one-way time {point.oneway_time!r} "
-                f"at size {point.size}"
-            )
+    # Bulk-compare first (C-level list equality / map), walk for the
+    # message only on failure: this runs on every sweep of every run,
+    # including the microsecond-scale analytic tier.
+    point_sizes = [p.size for p in points]
+    if point_sizes != list(sizes):
+        for point_size, size in zip(point_sizes, sizes):
+            if point_size != size:
+                return (
+                    f"point size {point_size} does not match "
+                    f"schedule size {size}"
+                )
+    times = [p.oneway_time for p in points]
+    if not all(map(isfinite, times)) or (times and min(times) <= 0):
+        for point in points:
+            if not (isfinite(point.oneway_time) and point.oneway_time > 0):
+                return (
+                    f"non-physical one-way time {point.oneway_time!r} "
+                    f"at size {point.size}"
+                )
     return None
 
 
@@ -561,6 +623,34 @@ def _execute_pool(
     return outcomes
 
 
+def _analytic_ineligibility(
+    request: SweepRequest, bands: "BandStore"
+) -> str | None:
+    """Why this request may *not* take the analytic tier (None = it may).
+
+    Eligibility is strict: the library family must have a closed form
+    *and* the exact (library × config) pair must hold an
+    engine-validated tolerance band minted against the current model
+    code — the band fingerprint folds in the derived code salt, so any
+    timing-model edit silently revokes eligibility until the validation
+    suite re-measures.
+    """
+    from repro.analytic import supports
+
+    if not supports(request.library):
+        return (
+            f"no closed-form model for {type(request.library).__name__} "
+            f"({request.library.display_name})"
+        )
+    if bands.lookup(request.library, request.config) is None:
+        return (
+            "no engine-validated tolerance band for "
+            f"{request.library.display_name!r} on "
+            f"{request.config.describe()!r} under the current model code"
+        )
+    return None
+
+
 def execute_sweeps(
     requests: Sequence[SweepRequest],
     max_workers: int | None = None,
@@ -571,6 +661,8 @@ def execute_sweeps(
     backoff: float | None = None,
     fault_plan: "FaultPlan | None" = None,
     trace: bool = False,
+    tier: str | None = None,
+    bands: "BandStore | None" = None,
 ) -> tuple[list[NetPipeResult], RunReport]:
     """Run many sweeps, parallel across processes, cache-aware, fault-hard.
 
@@ -593,10 +685,24 @@ def execute_sweeps(
         simulated sweep and collect them into ``report.traces`` (keyed
         by label).  Tracing bypasses the cache entirely — a cache hit
         has no trace to give — so every sweep actually simulates.
+    :param tier: ``"sim"`` (always simulate), ``"analytic"`` (demand
+        the closed form; unvalidated requests raise), or ``"auto"``
+        (closed form where an engine-validated band exists, simulation
+        otherwise).  ``None`` reads ``$REPRO_EXEC_TIER`` (default
+        ``sim``).  Analytic answers are computed inline — no pool, no
+        engine — validated like simulated curves, and cached under
+        their own fingerprint salt so the two tiers never share cache
+        entries.  The fault plan applies to simulated attempts only:
+        the closed form has no worker, timeout, or retry machinery to
+        exercise.
+    :param bands: tolerance-band store consulted for tier routing;
+        ``None`` loads the pinned default
+        (:func:`repro.analytic.default_band_store`).
 
     :raises SweepExecutionError: when a sweep still fails after its
         whole retry budget (never for a mere worker crash, which
-        degrades to serial execution instead).
+        degrades to serial execution instead), or — with
+        ``tier="analytic"`` — when a request has no validated band.
     """
     if max_workers is None:
         max_workers = default_workers()
@@ -612,7 +718,19 @@ def execute_sweeps(
         backoff = DEFAULT_BACKOFF
     if cache is None:
         cache = SweepCache.from_env()
+    if tier is None:
+        tier = default_tier()
+    if tier not in VALID_TIERS:
+        raise ValueError(
+            f"tier must be one of {', '.join(VALID_TIERS)}, got {tier!r}"
+        )
     if trace:
+        if tier == "analytic":
+            raise ValueError(
+                "trace=True needs the event engine — the closed form has "
+                "no protocol events to record; use tier='sim' or 'auto'"
+            )
+        tier = "sim"
         # No cache reads or writes while tracing: a hit would return a
         # curve with no trace behind it, and traced runs should never
         # shadow (or be shadowed by) the cached untraced ones.
@@ -622,12 +740,42 @@ def execute_sweeps(
     report = RunReport(workers=max_workers)
     results: list[NetPipeResult | None] = [None] * len(requests)
     stats: list[SweepStats | None] = [None] * len(requests)
-    pending: list[int] = []  # indices that must actually simulate
+    pending: list[int] = []  # indices the cache could not answer
+
+    # Tier routing.  The sim-only path skips all of this — no band
+    # store load, no band fingerprints — so tier="sim" costs nothing.
+    tiers = ["sim"] * len(requests)
+    analytic_salt = salt
+    if tier != "sim":
+        from repro.analytic import analytic_cache_salt, default_band_store
+
+        store = bands if bands is not None else default_band_store()
+        analytic_salt = analytic_cache_salt(salt)
+        for i, request in enumerate(requests):
+            reason = _analytic_ineligibility(request, store)
+            if reason is None:
+                tiers[i] = "analytic"
+            elif tier == "analytic":
+                raise SweepExecutionError(
+                    f"sweep {request.label!r} cannot run on the analytic "
+                    f"tier: {reason}.  Use tier='auto' or 'sim' to "
+                    "simulate it; bands are minted by "
+                    "tests/test_analytic_bands.py --regen"
+                )
+            else:
+                report.obs.count("exec.tier.fallback")
 
     # Fingerprints are only worth computing when there is a cache to
     # address with them; the cache-less path stays zero-overhead.
+    # Analytic entries are addressed under their own salt so the two
+    # tiers can never answer (or overwrite) each other's entries.
     if cache is not None:
-        fingerprints = [r.fingerprint(salt=salt) for r in requests]
+        fingerprints = [
+            r.fingerprint(
+                salt=analytic_salt if tiers[i] == "analytic" else salt
+            )
+            for i, r in enumerate(requests)
+        ]
     else:
         fingerprints = [""] * len(requests)
     for i, request in enumerate(requests):
@@ -641,12 +789,56 @@ def execute_sweeps(
                 cached=True,
                 elapsed=0.0,
                 events_processed=0,
+                tier=tiers[i],
             )
         else:
             if cache is not None:
                 report.obs.count("exec.cache.miss")
             pending.append(i)
 
+    analytic_pending = [i for i in pending if tiers[i] == "analytic"]
+    if analytic_pending:
+        from repro.analytic import predict_sweep
+
+        for i in analytic_pending:
+            request = requests[i]
+            t0 = time.perf_counter()
+            result = predict_sweep(
+                request.library, request.config,
+                sizes=request.sizes, repeats=request.repeats,
+                obs=report.obs,
+            )
+            elapsed = time.perf_counter() - t0
+            problem = _validate_result(request, result)
+            if problem is not None:
+                report.record_event(
+                    request.label, 0, "corrupt-result", problem
+                )
+                raise SweepExecutionError(
+                    f"analytic sweep {request.label!r} produced an "
+                    f"invalid curve: {problem}"
+                )
+            report.obs.count("exec.tier.analytic")
+            report.obs.record(
+                "analytic.sweep", cat="analytic", t0=0.0, t1=elapsed,
+                label=request.label,
+            )
+            results[i] = result
+            stats[i] = SweepStats(
+                label=request.label,
+                fingerprint=fingerprints[i],
+                cached=False,
+                elapsed=elapsed,
+                events_processed=0,
+                tier="analytic",
+            )
+            if cache is not None and cache.try_put(fingerprints[i], result) is None:
+                report.record_event(
+                    request.label, 0, "cache-write-failed",
+                    "cache write failed; see warning for the cause",
+                )
+
+    pending = [i for i in pending if tiers[i] == "sim"]
     if pending:
         if max_workers == 1 or len(pending) == 1:
             outcomes = {

@@ -90,6 +90,7 @@ class Experiment:
         retries: int | None = None,
         fault_plan: "FaultPlan | None" = None,
         trace: bool = False,
+        tier: str | None = None,
     ) -> tuple[dict[str, NetPipeResult], "RunReport"]:
         """All curves plus the executor's provenance/timing report.
 
@@ -106,7 +107,10 @@ class Experiment:
 
         ``trace=True`` records a full :mod:`repro.obs` protocol trace
         per curve into ``report.traces`` (cache bypassed; see
-        :func:`repro.exec.scheduler.execute_sweeps`).
+        :func:`repro.exec.scheduler.execute_sweeps`).  ``tier`` routes
+        curves between the event engine and the closed-form analytic
+        tier (``"sim"``/``"analytic"``/``"auto"``; default
+        ``$REPRO_EXEC_TIER`` or ``sim``).
         """
         from repro.exec.scheduler import execute_sweeps
 
@@ -114,7 +118,7 @@ class Experiment:
         results, report = execute_sweeps(
             requests, max_workers=max_workers, cache=cache,
             timeout=timeout, retries=retries, fault_plan=fault_plan,
-            trace=trace,
+            trace=trace, tier=tier,
         )
         return (
             {req.label: result for req, result in zip(requests, results)},
@@ -129,11 +133,12 @@ class Experiment:
         cache: "SweepCache | None" = None,
         timeout: float | None = None,
         retries: int | None = None,
+        tier: str | None = None,
     ) -> dict[str, NetPipeResult]:
         """All curves of the figure, keyed by label."""
         results, _report = self.run_with_report(
             sizes=sizes, repeats=repeats, max_workers=max_workers,
-            cache=cache, timeout=timeout, retries=retries,
+            cache=cache, timeout=timeout, retries=retries, tier=tier,
         )
         return results
 

@@ -1,0 +1,154 @@
+"""Analytic-tier validation: every figure pair is engine-certified.
+
+The closed-form tier may only answer for (library × config) pairs whose
+agreement with the event engine has been measured and pinned as a
+:class:`~repro.analytic.bands.ToleranceBand` in the packaged
+``src/repro/analytic/bands.json``.  This module is that certification:
+
+* every pair appearing in figures 1-5 must hold a pinned band under the
+  *current* model code (the band fingerprint folds in the derived code
+  salt, so any timing-model edit un-pins every band), and
+* re-measuring each pair — engine as oracle, analytic as candidate —
+  must stay within its pinned tolerance at every schedule size.
+
+After an intentional model change, re-pin with:
+
+    PYTHONPATH=src python tests/test_analytic_bands.py --regen
+
+and review the bands.json diff alongside the golden-curve diff.  See
+docs/TESTING.md.
+"""
+
+import pytest
+
+from repro.analytic import (
+    BandStore,
+    band_fingerprint,
+    default_band_store,
+    measure_band,
+    mint_bands,
+    supports,
+)
+from repro.analytic.bands import DEFAULT_BANDS_PATH, TOLERANCE_FLOOR
+from repro.experiments import ALL_FIGURES
+
+pytestmark = pytest.mark.analytic
+
+REGEN_HINT = (
+    "If the model change is intentional, re-pin with:\n"
+    "    PYTHONPATH=src python tests/test_analytic_bands.py --regen\n"
+    "and include the bands.json diff in the review."
+)
+
+
+def figure_pairs() -> list[tuple[str, object, object]]:
+    """Every unique (library, config) pair of figures 1-5.
+
+    Deduplicated by band fingerprint: figures share entries (fig1's raw
+    TCP on the GA620 is fig4's), and one band certifies the pair no
+    matter how many curves draw on it.
+    """
+    pairs = []
+    seen: set[str] = set()
+    for fig in ALL_FIGURES:
+        for entry in fig.entries:
+            fp = band_fingerprint(entry.library, entry.config)
+            if fp not in seen:
+                seen.add(fp)
+                pairs.append(
+                    (f"{fig.id}:{entry.label}", entry.library, entry.config)
+                )
+    return pairs
+
+
+PAIRS = figure_pairs()
+
+
+def test_every_figure_pair_is_supported():
+    # The analytic tier must cover the full paper surface: a figure
+    # entry the closed form cannot express would silently demote every
+    # tier="auto" run of that figure to simulation.
+    unsupported = [name for name, lib, _ in PAIRS if not supports(lib)]
+    assert not unsupported, f"no closed-form model for: {unsupported}"
+
+
+def test_every_figure_pair_has_a_pinned_band():
+    store = default_band_store()
+    missing = [
+        name
+        for name, lib, cfg in PAIRS
+        if store.lookup(lib, cfg) is None
+    ]
+    assert not missing, (
+        "bands.json holds no band (under the current code salt) for:\n  "
+        + "\n  ".join(missing)
+        + "\n"
+        + REGEN_HINT
+    )
+
+
+@pytest.mark.parametrize(
+    "name,library,config", PAIRS, ids=[name for name, _, _ in PAIRS]
+)
+def test_analytic_agrees_with_engine_within_pinned_band(
+    name, library, config
+):
+    # The acceptance check itself: engine as oracle, closed form as
+    # candidate, every point of the default schedule within tolerance.
+    store = default_band_store()
+    pinned = store.lookup(library, config)
+    if pinned is None:
+        pytest.fail(f"{name} has no pinned band.\n{REGEN_HINT}")
+    fresh = measure_band(library, config)
+    assert fresh.max_rel_err <= pinned.rel_tol, (
+        f"{name}: worst relative error {fresh.max_rel_err:.3e} exceeds the "
+        f"pinned tolerance {pinned.rel_tol:.3e}.\n{REGEN_HINT}"
+    )
+
+
+def test_pinned_tolerances_are_tight():
+    # The two tiers sum identical terms in different association
+    # orders, so every band should sit at the epsilon floor.  A band
+    # pinned wider means the closed form genuinely diverged when it
+    # was minted — which is a model bug, not a tolerance choice.
+    store = default_band_store()
+    loose = {
+        f"{band.library} / {band.config}": band.rel_tol
+        for band in store.bands.values()
+        if band.rel_tol > TOLERANCE_FLOOR
+    }
+    assert not loose, f"bands wider than the float-noise floor: {loose}"
+
+
+def test_band_store_roundtrips(tmp_path):
+    sub = BandStore(
+        {
+            band_fingerprint(lib, cfg): default_band_store().lookup(lib, cfg)
+            for _, lib, cfg in PAIRS[:3]
+        }
+    )
+    path = tmp_path / "bands.json"
+    sub.save(path)
+    again = BandStore.load(path)
+    assert again.bands == sub.bands
+
+
+def _regen() -> None:
+    """Re-measure every figure pair and rewrite the packaged bands."""
+    store = mint_bands((lib, cfg) for _, lib, cfg in PAIRS)
+    store.save(DEFAULT_BANDS_PATH)
+    worst = max(b.max_rel_err for b in store.bands.values())
+    print(
+        f"pinned {len(store)} bands into {DEFAULT_BANDS_PATH} "
+        f"(worst observed rel err {worst:.3e})"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
+        sys.exit(2)

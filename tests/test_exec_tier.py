@@ -1,0 +1,173 @@
+"""Tier-routing edges: auto/analytic/sim through ``execute_sweeps``.
+
+The analytic tier is only allowed to answer where it is engine-
+validated, and must never contaminate the simulated curve cache.  These
+tests pin the routing table's edges: in-band requests route analytically
+under ``auto``, out-of-band requests fall back to simulation (or fail
+loudly under ``tier="analytic"``), cache entries stay tier-disjoint,
+and the run report says which path every curve took.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exec import (
+    SweepCache,
+    SweepExecutionError,
+    SweepRequest,
+    TIER_ENV,
+    default_tier,
+    execute_sweeps,
+)
+from repro.experiments.configs import pc_netgear_ga620
+from repro.experiments.figures import FIG1
+from repro.mplib.registry import RawTcp
+
+pytestmark = [pytest.mark.analytic, pytest.mark.exec_smoke]
+
+
+def banded_request(label: str = "raw") -> SweepRequest:
+    """An in-band request: a figure pair, so its band ships pinned."""
+    return SweepRequest(
+        label=label, library=RawTcp(), config=pc_netgear_ga620(),
+        sizes=(1, 64, 1024, 16384), repeats=1,
+    )
+
+
+def unbanded_request(label: str = "novel") -> SweepRequest:
+    """A supported family on a config no band was ever minted for."""
+    config = dataclasses.replace(pc_netgear_ga620(), switch_latency=1.1e-6)
+    return SweepRequest(
+        label=label, library=RawTcp(), config=config,
+        sizes=(1, 64, 1024), repeats=1,
+    )
+
+
+def test_auto_routes_in_band_analytically_and_matches_sim():
+    requests = FIG1.sweep_requests()
+    sim_results, sim_report = execute_sweeps(requests, tier="sim")
+    ana_results, ana_report = execute_sweeps(requests, tier="auto")
+
+    assert sim_report.sweeps_simulated == len(requests)
+    assert sim_report.sweeps_analytic == 0
+    assert ana_report.sweeps_analytic == len(requests)
+    assert ana_report.sweeps_simulated == 0
+    assert all(s.tier == "analytic" for s in ana_report.stats)
+    assert all(s.events_processed == 0 for s in ana_report.stats)
+
+    for sim_r, ana_r in zip(sim_results, ana_results):
+        assert sim_r.library == ana_r.library
+        for p_sim, p_ana in zip(sim_r.points, ana_r.points):
+            assert p_ana.size == p_sim.size
+            assert p_ana.oneway_time == pytest.approx(
+                p_sim.oneway_time, rel=1e-9
+            )
+
+
+def test_auto_falls_back_to_sim_for_out_of_band_config():
+    results, report = execute_sweeps(
+        [banded_request(), unbanded_request()], tier="auto"
+    )
+    assert len(results) == 2
+    by_label = {s.label: s for s in report.stats}
+    assert by_label["raw"].tier == "analytic"
+    assert by_label["novel"].tier == "sim"
+    assert by_label["novel"].events_processed > 0
+    assert report.sweeps_analytic == 1
+    assert report.sweeps_simulated == 1
+
+
+def test_analytic_tier_demands_a_band():
+    with pytest.raises(SweepExecutionError) as exc_info:
+        execute_sweeps([unbanded_request()], tier="analytic")
+    message = str(exc_info.value)
+    assert "novel" in message
+    assert "tolerance band" in message
+    assert "--regen" in message  # the error must say how to mint one
+
+
+def test_analytic_results_never_enter_the_sim_cache(tmp_path):
+    cache = SweepCache(tmp_path / "sweeps")
+    request = banded_request()
+
+    # Fill the cache analytically, then demand simulation: the sim run
+    # must find nothing — analytic entries live under their own salt.
+    _, warm = execute_sweeps([request], tier="auto", cache=cache)
+    assert warm.sweeps_analytic == 1
+    _, sim_report = execute_sweeps([request], tier="sim", cache=cache)
+    assert sim_report.cache_hits == 0
+    assert sim_report.sweeps_simulated == 1
+
+    # And the reverse: the sim entry must not shadow the analytic one.
+    _, ana_report = execute_sweeps([request], tier="auto", cache=cache)
+    assert ana_report.cache_hits == 1
+    assert ana_report.stats[0].tier == "analytic"
+    assert ana_report.stats[0].cached
+
+
+def test_render_reports_per_tier_counts():
+    requests = [banded_request(), unbanded_request()]
+    _, report = execute_sweeps(requests, tier="auto")
+    header = report.render().splitlines()[0]
+    assert "1 simulated, 1 analytic, 0 cached" in header
+    body = report.render()
+    assert "analytic" in body  # per-sweep source column names the tier
+
+
+def test_trace_refuses_the_analytic_tier():
+    with pytest.raises(ValueError, match="event engine"):
+        execute_sweeps([banded_request()], trace=True, tier="analytic")
+    # auto is demoted to sim when tracing: a trace needs real events.
+    _, report = execute_sweeps([banded_request()], trace=True, tier="auto")
+    assert report.sweeps_simulated == 1
+    assert "raw" in report.traces
+
+
+def test_invalid_tier_rejected():
+    with pytest.raises(ValueError, match="tier must be one of"):
+        execute_sweeps([banded_request()], tier="warp")
+
+
+def test_tier_env_default(monkeypatch):
+    monkeypatch.delenv(TIER_ENV, raising=False)
+    assert default_tier() == "sim"
+    monkeypatch.setenv(TIER_ENV, "auto")
+    assert default_tier() == "auto"
+    _, report = execute_sweeps([banded_request()])
+    assert report.sweeps_analytic == 1
+    monkeypatch.setenv(TIER_ENV, "bogus")
+    with pytest.raises(ValueError, match=TIER_ENV):
+        default_tier()
+
+
+def test_cli_figure_runs_on_the_analytic_tier(capsys):
+    from repro.__main__ import main
+
+    assert main(["figure", "fig1", "--tier", "analytic"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "MISS" not in out
+
+
+def test_cli_tier_analytic_without_bands_exits_with_error(
+    monkeypatch, tmp_path, capsys
+):
+    from repro.__main__ import main
+    from repro.analytic import BANDS_ENV
+
+    # An empty band store: every config is unvalidated, so demanding
+    # the analytic tier must fail loudly, not silently simulate.
+    monkeypatch.setenv(BANDS_ENV, str(tmp_path / "no-bands.json"))
+    assert main(["figure", "fig1", "--tier", "analytic"]) == 2
+    err = capsys.readouterr().err
+    assert "tolerance band" in err and "error:" in err
+
+
+def test_repeats_and_sizes_flow_through_the_analytic_tier():
+    request = SweepRequest(
+        label="r", library=RawTcp(), config=pc_netgear_ga620(),
+        sizes=(1, 2, 4), repeats=5,
+    )
+    results, report = execute_sweeps([request], tier="analytic")
+    assert report.sweeps_analytic == 1
+    assert [p.size for p in results[0].points] == [1, 2, 4]
