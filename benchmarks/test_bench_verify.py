@@ -1,0 +1,58 @@
+"""Bench: warm `repro verify` answers from the verdict cache in <2s.
+
+A full cold verification of the REGISTRY+VARIANTS universe extracts
+models, enumerates paths, explores every product pairing and fault
+scenario.  The content-digest verdict cache
+(:class:`repro.verify.VerdictCache`) makes the warm pass — the one CI
+and the pre-commit loop actually feel — near-free: every verdict is
+one JSON read keyed by the source digest.  Two machine-checkable
+claims:
+
+* a warm pass serves **every** verdict from cache (structural claim,
+  host-speed independent);
+* the warm pass completes in under two seconds (the CI guard).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.verify import verify_universe
+
+WARM_BUDGET_SECONDS = 2.0
+
+
+def test_warm_verify_pass_is_fully_cached_and_fast(tmp_path):
+    cache_dir = tmp_path / "verify-cache"
+
+    t0 = time.perf_counter()
+    cold = verify_universe(cache_dir=cache_dir)
+    cold_s = time.perf_counter() - t0
+    assert cold.ok
+    assert cold.cache_misses == len(cold.verdicts) > 0
+
+    t0 = time.perf_counter()
+    warm = verify_universe(cache_dir=cache_dir)
+    warm_s = time.perf_counter() - t0
+    assert warm.ok
+    assert warm.cache_hits == len(warm.verdicts)
+    assert all(v.from_cache for v in warm.verdicts)
+    assert warm_s < WARM_BUDGET_SECONDS, (
+        f"warm verify took {warm_s:.2f}s (budget {WARM_BUDGET_SECONDS}s)"
+    )
+
+    report(
+        "repro verify verdict cache: cold vs warm",
+        "\n".join(
+            [
+                f"library configurations  {len(cold.verdicts)}",
+                f"path pairs explored     "
+                f"{sum(v.path_pairs for v in cold.verdicts)}",
+                f"cold run                {cold_s * 1e3:8.1f} ms",
+                f"warm run                {warm_s * 1e3:8.1f} ms "
+                f"({warm.cache_hits} cached verdicts)",
+            ]
+        ),
+    )

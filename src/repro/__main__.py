@@ -12,6 +12,7 @@ Commands
 ``cpu``                  host-CPU availability per transport
 ``loopback``             live two-process NetPIPE over loopback TCP
 ``check``                protocol-flow, dimension & determinism static analysis
+``verify``               bounded model checking of library handshakes
 ``trace``                record a Chrome/Perfetto protocol trace
 
 ``figures``/``figure`` also accept ``--trace FILE`` to record the
@@ -291,6 +292,13 @@ def cmd_check(args: argparse.Namespace) -> int:
     return check_main(args.check_args)
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Bounded model checking of the mplib handshakes (repro.verify)."""
+    from repro.verify.cli import main as verify_main
+
+    return verify_main(args.verify_args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -413,18 +421,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(func=cmd_check)
 
+    p = sub.add_parser(
+        "verify", help="bounded model checking of library handshakes"
+    )
+    p.add_argument(
+        "verify_args", nargs=argparse.REMAINDER, metavar="...",
+        help="libraries and options passed to repro.verify.cli",
+    )
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("loopback", help="live loopback NetPIPE")
     p.add_argument("--max-size", type=int, default=1 << 20)
     p.add_argument("--sockbuf", type=int, default=None)
     p.add_argument("--threshold", type=int, default=64 * 1024)
     p.set_defaults(func=cmd_loopback)
 
-    # ``check`` forwards everything (including --options, which
-    # argparse.REMAINDER would swallow) to the repro.check CLI.
+    # ``check``/``verify`` forward everything (including --options,
+    # which argparse.REMAINDER would swallow) to their own CLIs.
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "check":
         return cmd_check(
             argparse.Namespace(check_args=raw[1:])
+        )
+    if raw and raw[0] == "verify":
+        return cmd_verify(
+            argparse.Namespace(verify_args=raw[1:])
         )
 
     args = parser.parse_args(argv)

@@ -96,15 +96,29 @@ DEFAULT_POLICY = Policy(
         # repro.analytic computes the same curves closed-form, so it is
         # held to the same bar too: a nondeterministic prediction could
         # silently diverge from the engine it was validated against.
+        # repro.faults is pure plan data plus a worker-side injector:
+        # its *descriptions* of failure must be as deterministic as the
+        # sweeps they perturb.  repro.verify's verdicts gate CI, so a
+        # nondeterministic verifier would be worse than none.
         "determinism": SIM_PACKAGES + (
             "repro.exec", "repro.obs", "repro.analytic",
+            "repro.faults", "repro.verify",
         ),
-        "purity": SIM_PACKAGES + ("repro.obs", "repro.analytic"),
+        "purity": SIM_PACKAGES + (
+            "repro.obs", "repro.analytic", "repro.faults",
+            "repro.verify",
+        ),
         "yield-discipline": None,  # a discarded generator is dead code anywhere
-        "cache-safety": SIM_PACKAGES + ("repro.obs", "repro.analytic"),
+        "cache-safety": SIM_PACKAGES + (
+            "repro.obs", "repro.analytic", "repro.verify",
+        ),
         # The generator state machines live in repro.mplib; handshake
         # pairing and spec reachability are meaningless elsewhere.
-        "protocol-flow": ("repro.mplib",),
+        # repro.faults is in scope too: its wire-fault plans name the
+        # same handshake tags the endpoints block on.
+        "protocol-flow": ("repro.mplib", "repro.faults"),
+        # Semantic model checking of the same endpoint classes.
+        "verify": ("repro.mplib",),
         # SI-unit discipline over the timing models.  Analysis and
         # reporting layers legitimately hold display units (to_us /
         # to_mbps output), so they are out of scope.
@@ -114,21 +128,20 @@ DEFAULT_POLICY = Policy(
     },
     family_exemptions={
         # Live loopback benchmarking: real sockets, real clock — the
-        # whole point of the package is to not be a simulation.  Fault
-        # injection (repro.faults) blocks on real time and kills real
-        # worker processes *by design*; it runs only under an explicit
-        # test-supplied FaultPlan and never inside a simulation.
-        "determinism": (
-            "repro.realnet", "repro.exec.scheduler", "repro.faults",
-        ),
-        "purity": ("repro.realnet", "repro.faults"),
+        # whole point of the package is to not be a simulation.
+        # repro.faults is held in scope: its two deliberate effects
+        # (worker hang, worker kill) carry line-level allow markers in
+        # :mod:`repro.faults.inject`; everything else must stay pure.
+        "determinism": ("repro.realnet", "repro.exec.scheduler"),
+        "purity": ("repro.realnet",),
     },
     rule_exemptions={
         # The sanctioned places for file I/O: baseline/result
-        # (de)serialization, the obs trace-file writers, and the
-        # analytic tolerance-band store.
+        # (de)serialization, the obs trace-file writers, the analytic
+        # tolerance-band store, and the verify verdict cache.
         "pure-open": (
             "repro.core.io", "repro.obs.export", "repro.analytic.bands",
+            "repro.verify.cache",
         ),
     },
 )

@@ -17,6 +17,7 @@ from repro.check.rules import (
     dimension,
     protocol,
     purity,
+    verify,
     yields,
 )
 
@@ -24,7 +25,7 @@ from repro.check.rules import (
 FAMILIES = (determinism, purity, yields, cache)
 
 #: Project-scope families: run once over the whole module graph.
-PROJECT_FAMILIES = (protocol, dimension)
+PROJECT_FAMILIES = (protocol, verify, dimension)
 
 #: rule id -> (family name, description), for --list-rules and docs.
 RULES: dict[str, tuple[str, str]] = {

@@ -108,6 +108,7 @@ def _collect_classes(project) -> list[_EndpointClass]:
 
 
 def _is_endpoint(cls: _EndpointClass) -> bool:
+    """Is ``cls`` an endpoint: are both send and recv generators?"""
     for name in ("send", "recv"):
         entry = cls.method(name)
         if entry is None or not _is_generator(entry[1]):
@@ -153,6 +154,7 @@ def _classify_call(call: ast.Call) -> tuple[str, str | None] | None:
 
 
 def _self_method_call(call: ast.Call) -> str | None:
+    """Method name when ``call`` is ``self.<name>(...)``, else None."""
     func = call.func
     if (
         isinstance(func, ast.Attribute)
@@ -387,6 +389,7 @@ def _eval_test(test: ast.AST, spec: object, imports: ImportMap) -> object:
 
 
 def _apply_compare(op: ast.cmpop, left: object, right: object) -> object:
+    """Evaluate one comparison over spec values (UNKNOWN on failure)."""
     if isinstance(left, _EnumRef) or isinstance(right, _EnumRef):
         ref, value = (
             (left, right) if isinstance(left, _EnumRef) else (right, left)
@@ -541,3 +544,25 @@ def _deadlock(cls: _EndpointClass, ops: dict[str, list[_Op]]) -> Iterator[Findin
             "sending anything while recv() also blocks on a receive — "
             "paired ranks deadlock",
         )
+
+
+# -- shared surface ------------------------------------------------------------
+
+# Public aliases consumed by :mod:`repro.verify`: the bounded model
+# checker extracts its state machines through the exact same endpoint
+# collection, channel-op classification, and spec evaluation the lint
+# rules use, so the two layers can never drift apart on what counts as
+# a protocol state machine.
+MISSING = _MISSING
+UNKNOWN = _UNKNOWN
+EndpointClass = _EndpointClass
+collect_classes = _collect_classes
+is_endpoint = _is_endpoint
+is_generator = _is_generator
+classify_channel_call = _classify_call
+self_method_call = _self_method_call
+eval_test = _eval_test
+eval_operand = _operand
+spec_attr = _spec_attr
+spec_universe = _spec_universe
+apply_compare = _apply_compare

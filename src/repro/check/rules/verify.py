@@ -1,0 +1,135 @@
+"""verify: semantic model checking of endpoint handshakes.
+
+Where the ``proto-*`` rules prove *syntactic* send/recv tag pairing,
+this family compiles every endpoint class into a bounded state-machine
+model (:mod:`repro.verify`) and exhaustively explores the two-endpoint
+product against every applicable spec in the registry universe, at
+probe sizes bracketing each eager/rendezvous threshold:
+
+* ``verify-deadlock`` — a reachable path pair leaves both legs blocked
+  on receives at quiescence;
+* ``verify-threshold`` — sender and receiver disagree on the size
+  regime (one runs the rendezvous handshake, the other expects eager);
+* ``verify-progress`` — a handshake exceeds the hop bound or the model
+  itself is not exhaustively explorable;
+* ``verify-liveness`` — a spec that claims loss recovery
+  (``recovers_from_loss``) wedges under a single dropped message.
+
+The fault sweep only runs for specs claiming recovery: for all others
+a dropped handshake message is *expected* to wedge the pair (those
+runs are exposed as replayable witnesses by ``python -m repro
+verify``, not as findings).  Findings anchor at the blocked operation
+in the endpoint source; identical anchors across many (spec, size)
+configurations collapse into one finding with a ``+N more`` suffix.
+"""
+
+from __future__ import annotations
+
+from repro.check.analyzer import Finding
+
+FAMILY = "verify"
+
+RULES = {
+    "verify-deadlock": (
+        "reachable path pair blocks both endpoint legs at quiescence"
+    ),
+    "verify-threshold": (
+        "sender and receiver disagree on the eager/rendezvous regime"
+    ),
+    "verify-progress": (
+        "handshake exceeds the hop bound or model is not explorable"
+    ),
+    "verify-liveness": (
+        "spec claims loss recovery but a dropped message wedges the pair"
+    ),
+}
+
+
+def _finding_message(cex) -> str:
+    """Counterexample text without the duplicated rule prefix."""
+    fault = f" under {cex.fault.describe()}" if cex.fault else ""
+    return (
+        f"{cex.endpoint} x {cex.library} spec at {cex.size} "
+        f"bytes{fault}: {cex.message}"
+    )
+
+
+def check_project(project) -> list[Finding]:
+    """Model-check every endpoint class against the spec universe."""
+    # Imported lazily: repro.verify itself imports the shared AST
+    # surface of repro.check.rules.protocol, and this module is pulled
+    # in by repro.check.rules at package import.
+    from repro.mplib.registry import iter_spec_universe
+    from repro.verify.explore import verify_pairing
+    from repro.verify.extract import iter_endpoint_models
+    from repro.verify.model import (
+        PathExplosion,
+        SpecNotApplicable,
+        enumerate_paths,
+    )
+    from repro.verify.universe import sizes_for_spec
+
+    counterexamples = []
+    for model in iter_endpoint_models(project):
+        for spec_name, spec in iter_spec_universe():
+            sizes = sizes_for_spec(spec)
+            paths_by_size = {}
+            try:
+                for size in sizes:
+                    paths_by_size[size] = (
+                        enumerate_paths(model.leg("send"), spec, size),
+                        enumerate_paths(model.leg("recv"), spec, size),
+                    )
+            except SpecNotApplicable:
+                continue  # this endpoint does not speak this spec
+            except PathExplosion as exc:
+                counterexamples.append(_explosion_cex(
+                    model, spec_name, size, exc
+                ))
+                continue
+            cexs, _witnesses, _stats = verify_pairing(
+                model.name,
+                spec_name,
+                spec,
+                paths_by_size,
+                check_faults=bool(
+                    getattr(spec, "recovers_from_loss", False)
+                ),
+            )
+            counterexamples.extend(cexs)
+    return _collapse(counterexamples)
+
+
+def _explosion_cex(model, spec_name: str, size: int, exc):
+    from repro.verify.explore import Counterexample
+
+    return Counterexample(
+        prop="progress",
+        endpoint=model.name,
+        library=spec_name,
+        size=size,
+        message=f"model not exhaustively explorable: {exc}",
+        anchors=((model.path, model.line, 1),),
+        approx=True,
+    )
+
+
+def _collapse(counterexamples) -> list[Finding]:
+    """One finding per (rule, anchor); extra configurations counted."""
+    grouped: dict[tuple, list] = {}
+    for cex in counterexamples:
+        path, line, col = (
+            cex.anchors[0] if cex.anchors else ("<unknown>", 1, 1)
+        )
+        grouped.setdefault(
+            (cex.rule, str(path), line, col), []
+        ).append(cex)
+    findings = []
+    for (rule, path, line, col), group in grouped.items():
+        message = _finding_message(group[0])
+        if len(group) > 1:
+            message += f" (+{len(group) - 1} more configurations)"
+        findings.append(Finding(
+            path=path, line=line, col=col, rule=rule, message=message,
+        ))
+    return sorted(findings)

@@ -28,6 +28,7 @@ SARIF_SCHEMA = (
 _FAMILY_LEVELS = {
     "driver": "error",
     "protocol-flow": "error",
+    "verify": "error",
     "dimension": "warning",
     "determinism": "warning",
     "purity": "warning",

@@ -29,6 +29,7 @@ from repro.faults.inject import (
     corrupt_result,
 )
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.wire import WireFaultKind, WireFaultPlan, WireFaultSpec
 
 __all__ = [
     "CRASH_EXIT_CODE",
@@ -38,6 +39,9 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "InjectedWorkerCrash",
+    "WireFaultKind",
+    "WireFaultPlan",
+    "WireFaultSpec",
     "apply_post_fault",
     "apply_pre_fault",
     "corrupt_result",

@@ -69,6 +69,7 @@ def apply_pre_fault(spec: FaultSpec, allow_crash: bool) -> None:
             f"injected transient fault on {spec.label!r}"
         )
     if spec.kind is FaultKind.HANG:
+        # repro: allow[det-wallclock] an injected hang IS a real stall
         time.sleep(spec.hang_seconds)
     elif spec.kind is FaultKind.CRASH:
         if allow_crash:

@@ -1,0 +1,101 @@
+"""Message-level wire faults: deterministic drop/corrupt plans.
+
+Where :mod:`repro.faults.plan` breaks *workers* (the process pool
+around the simulation), a :class:`WireFaultPlan` breaks *messages*
+inside one simulated channel: the n-th send of a given tag from a
+given side is dropped on the wire or delivered with a corrupted
+payload.  This is how :mod:`repro.verify` replays its liveness
+counterexamples — the model says "dropping the first ``cts`` wedges
+this handshake", the plan makes the engine do exactly that, and the
+resulting trace is the proof.
+
+Plans are pure picklable data with window semantics matching
+:class:`~repro.faults.plan.FaultPlan`: occurrences are 1-based and
+counted per ``(side, tag)`` by the channel, so the same plan on the
+same protocol always hits the same message.
+:class:`~repro.net.channel.SimChannel` consults an installed plan via
+:meth:`WireFaultPlan.action_for_message` — returning the *string*
+kind keeps the channel free of any faults-package import.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WireFaultKind(enum.Enum):
+    """What happens to the matched message."""
+
+    #: The message never arrives: injection completes (the sender does
+    #: not notice) but delivery is suppressed.
+    DROP = "drop"
+    #: The message arrives with ``meta["corrupted"] = True``; the
+    #: envelope (tag, size) is intact.
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class WireFaultSpec:
+    """One wire fault: ``kind`` on the n-th ``tag`` send from ``src``."""
+
+    tag: str
+    kind: WireFaultKind = WireFaultKind.DROP
+    #: 1-based index among ``src``'s sends of ``tag``
+    occurrence: int = 1
+    #: originating endpoint (0 or 1)
+    src: int = 0
+
+    def __post_init__(self) -> None:
+        if self.occurrence < 1:
+            raise ValueError(
+                f"occurrence is 1-based, got {self.occurrence}"
+            )
+        if self.src not in (0, 1):
+            raise ValueError(f"src must be 0 or 1, got {self.src}")
+
+
+@dataclass(frozen=True)
+class WireFaultPlan:
+    """An unordered, picklable collection of wire-fault specs."""
+
+    specs: tuple[WireFaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, WireFaultSpec):
+                raise TypeError(f"not a WireFaultSpec: {spec!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def single(
+        cls,
+        tag: str,
+        kind: WireFaultKind = WireFaultKind.DROP,
+        occurrence: int = 1,
+        src: int = 0,
+    ) -> "WireFaultPlan":
+        """A plan faulting one specific message."""
+        return cls((WireFaultSpec(tag=tag, kind=kind,
+                                  occurrence=occurrence, src=src),))
+
+    def action_for_message(
+        self, src: int, tag: str, occurrence: int
+    ) -> str | None:
+        """``"drop"`` / ``"corrupt"`` / None for one concrete send.
+
+        ``occurrence`` is the channel's 1-based count of ``src``'s
+        sends of ``tag`` so far (including this one).
+        """
+        for spec in self.specs:
+            if (
+                spec.src == src
+                and spec.tag == tag
+                and spec.occurrence == occurrence
+            ):
+                return spec.kind.value
+        return None

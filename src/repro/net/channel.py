@@ -107,6 +107,14 @@ class SimChannel:
         self._wire = (Resource(engine, 1), Resource(engine, 1))
         self._seq = itertools.count()
         self.messages_delivered = 0
+        self.messages_dropped = 0
+        #: optional wire-fault plan (duck-typed, normally a
+        #: :class:`repro.faults.wire.WireFaultPlan`): consulted per
+        #: injected message via ``action_for_message(src, tag, n)``.
+        #: None (the default) costs one identity check per send.
+        self.faults = None
+        #: 1-based send counts per (src, tag), for fault matching
+        self._sends_seen: dict[tuple[int, str], int] = {}
         #: bound once: the engine's obs recorder (NULL_RECORDER when off)
         self.obs = engine.obs
 
@@ -145,6 +153,25 @@ class SimChannel:
             )
             obs.count("net.messages")
             obs.observe("net.bytes", msg.size)
+        if self.faults is not None:
+            key = (msg.src, msg.tag)
+            n = self._sends_seen[key] = self._sends_seen.get(key, 0) + 1
+            action = self.faults.action_for_message(msg.src, msg.tag, n)
+            if action == "drop":
+                # Injection succeeded from the sender's point of view;
+                # the message simply never lands in the peer's inbox.
+                self.messages_dropped += 1
+                if obs.enabled:
+                    obs.count("net.dropped")
+                    obs.point(
+                        "net.drop", cat="fault", track=msg.src,
+                        size=msg.size, tag=msg.tag,
+                    )
+                return msg
+            if action == "corrupt":
+                msg.meta["corrupted"] = True
+                if obs.enabled:
+                    obs.count("net.corrupted")
         self.engine.process(self._deliver(msg))
         return msg
 

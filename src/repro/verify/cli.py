@@ -1,0 +1,206 @@
+"""``python -m repro verify`` — bounded model checking of the mplib
+handshake state machines.
+
+Exit status: 0 all properties hold, 1 counterexamples found, 2 usage
+or environment errors.
+
+::
+
+    $ python -m repro verify
+    verified 30 library configurations: no counterexamples
+      ...
+
+    $ python -m repro verify mpich lam --stats
+    $ python -m repro verify --format sarif > verify.sarif
+    $ python -m repro verify --cache .repro-cache/verify   # warm: <2s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.verify.explore import HOP_BOUND
+
+
+def _parse_sizes(spec: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(s) for s in spec.split(",") if s.strip())
+    except ValueError:
+        raise ValueError(f"--sizes must be comma-separated ints: {spec!r}")
+    if any(s < 1 for s in sizes):
+        raise ValueError("--sizes must be positive")
+    return sizes
+
+
+def _findings_for(report) -> list:
+    """Counterexamples as :class:`repro.check.analyzer.Finding` rows."""
+    from repro.check.analyzer import Finding
+
+    findings = []
+    for cex in report.counterexamples:
+        path, line, col = (
+            cex.anchors[0] if cex.anchors else ("<unknown>", 1, 1)
+        )
+        findings.append(Finding(
+            path=str(path), line=line, col=col,
+            rule=cex.rule, message=cex.describe(),
+        ))
+    return sorted(findings)
+
+
+def _render_text(report, *, stats: bool, verbose: bool) -> str:
+    lines = []
+    for cex in report.counterexamples:
+        path, line, col = (
+            cex.anchors[0] if cex.anchors else ("<unknown>", 1, 1)
+        )
+        lines.append(f"{path}:{line}:{col}: {cex.rule} {cex.describe()}")
+        if verbose and cex.trace:
+            lines.append("  modeled trace:")
+            lines.extend(f"    {step}" for step in cex.render_trace())
+        if cex.replay is not None:
+            verdict = "confirmed" if cex.replay.get("confirmed") else (
+                "NOT CONFIRMED")
+            lines.append(
+                f"  engine replay: {verdict} "
+                f"(stuck={cex.replay.get('stuck')}, "
+                f"blocked={cex.replay.get('blocked')}, "
+                f"digest={str(cex.replay.get('digest', ''))[:12]})"
+            )
+    n_cex = len(report.counterexamples)
+    noun = "counterexample" if n_cex == 1 else "counterexamples"
+    summary = (
+        f"verified {len(report.verdicts)} library configurations: "
+        + ("no counterexamples" if n_cex == 0 else f"{n_cex} {noun}")
+    )
+    lines.append(summary)
+    if stats:
+        pairs = sum(v.path_pairs for v in report.verdicts)
+        faults = sum(v.fault_runs for v in report.verdicts)
+        stuck = sum(v.expected_stuck for v in report.verdicts)
+        cached = sum(1 for v in report.verdicts if v.from_cache)
+        lines.append(
+            f"  {pairs} path pairs, {faults} fault scenarios "
+            f"({stuck} expected-stuck witnesses), "
+            f"{cached}/{len(report.verdicts)} verdicts from cache "
+            f"({report.cache_hits} hits, {report.cache_misses} misses)"
+        )
+        for v in report.verdicts:
+            mark = "cached" if v.from_cache else "explored"
+            lines.append(
+                f"    {v.library:14s} {v.endpoint:22s} "
+                f"sizes={len(v.sizes)} pairs={v.path_pairs:3d} "
+                f"faults={v.fault_runs:3d} [{mark}]"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description=(
+            "Bounded model checking of mplib handshake state machines "
+            "with engine counterexample replay "
+            "(see docs/VERIFICATION.md)."
+        ),
+    )
+    parser.add_argument(
+        "libraries", nargs="*", metavar="LIBRARY",
+        help="library configurations to verify "
+             "(default: the full REGISTRY+VARIANTS universe)",
+    )
+    parser.add_argument(
+        "--sizes", default=None, metavar="N,N,...",
+        help="extra probe sizes beyond the automatic "
+             "threshold±1 set",
+    )
+    parser.add_argument(
+        "--hop-bound", type=int, default=HOP_BOUND, metavar="N",
+        help=f"progress bound on handshake hops (default {HOP_BOUND})",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="verdict-cache directory "
+             "(default $REPRO_VERIFY_CACHE; unset = no caching)",
+    )
+    parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip engine replay of counterexamples",
+    )
+    parser.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the message-loss/corruption liveness sweep",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="per-library exploration statistics (text format)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the modeled trace of every counterexample",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        extra_sizes = _parse_sizes(args.sizes) if args.sizes else ()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # repro: allow[det-env] -- CLI-only default, never read in library code
+    cache_dir = args.cache or os.environ.get("REPRO_VERIFY_CACHE") or None
+
+    from repro.verify.universe import verify_universe
+
+    try:
+        report = verify_universe(
+            names=args.libraries or None,
+            cache_dir=cache_dir,
+            hop_bound=args.hop_bound,
+            check_faults=not args.no_faults,
+            with_replay=not args.no_replay,
+            extra_sizes=extra_sizes,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "ok": report.ok,
+                "cache": {
+                    "hits": report.cache_hits,
+                    "misses": report.cache_misses,
+                },
+                "verdicts": [v.to_dict() for v in report.verdicts],
+            },
+            indent=2, sort_keys=True,
+        ))
+    elif args.format == "sarif":
+        from repro.check.sarif import to_sarif
+
+        analyzed = [v.library for v in report.verdicts]
+        print(json.dumps(
+            to_sarif(_findings_for(report), analyzed),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(_render_text(report, stats=args.stats, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

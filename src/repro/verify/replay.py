@@ -1,0 +1,180 @@
+"""Deterministic engine replay of model counterexamples.
+
+A counterexample from :mod:`repro.verify.explore` is only as
+trustworthy as its reproduction: the model is an abstraction, the
+engine is the ground truth the curves come from.  :func:`replay` runs
+the *real* endpoint generators of a library on a fresh
+:class:`~repro.sim.Engine` with full :mod:`repro.obs` tracing, the
+counterexample's wire-fault plan installed on the
+:class:`~repro.net.channel.SimChannel`, and reports whether the run
+wedged the same way the model predicted — including which tags each
+side is blocked on, read off the channel inboxes' pending getters.
+
+Every replay is bit-deterministic: :func:`trace_digest` hashes the
+canonicalized span/counter stream, and :func:`replay` runs the
+scenario twice and refuses to report a digest that does not reproduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass
+
+from repro.obs.recorder import Recorder
+from repro.sim import Engine
+from repro.verify.explore import Counterexample, WireFault
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one engine replay of a (library, size, fault) witness."""
+
+    completed: bool
+    #: per-side: None when the process finished, else the sorted tags
+    #: of channel receives it is still blocked on ("*" = wildcard)
+    blocked: tuple[tuple[str, ...] | None, tuple[str, ...] | None]
+    sim_time: float
+    messages_dropped: int
+    #: SHA-256 over the canonical obs trace — identical across replays
+    digest: str
+    recorder: Recorder
+
+    @property
+    def stuck(self) -> bool:
+        return not self.completed
+
+
+def wire_plan_for(cex: Counterexample):
+    """The :class:`~repro.faults.wire.WireFaultPlan` of a counterexample
+    (None when the violation needs no fault)."""
+    if cex.fault is None:
+        return None
+    return _plan_from_fault(cex.fault)
+
+
+def _plan_from_fault(fault: WireFault):
+    from repro.faults.wire import WireFaultKind, WireFaultPlan
+
+    return WireFaultPlan.single(
+        tag=fault.tag,
+        kind=WireFaultKind(fault.kind),
+        occurrence=fault.occurrence,
+        src=fault.side,
+    )
+
+
+def _blocked_tags(lib_endpoint) -> tuple[str, ...]:
+    """Tags of the receives an endpoint's inbox is blocked on.
+
+    The channel's :class:`~repro.sim.resources.Store` keeps one
+    ``Get`` per pending receive; the tag lives in the closure of the
+    filter :meth:`repro.net.channel.Endpoint.recv` built.
+    """
+    ep = getattr(lib_endpoint, "ep", lib_endpoint)
+    tags = []
+    for getter in ep.inbox._getters:
+        tag = None
+        if getter.filter is not None:
+            try:
+                tag = inspect.getclosurevars(getter.filter).nonlocals.get("tag")
+            except (TypeError, ValueError):
+                tag = None
+        tags.append("*" if tag is None else str(tag))
+    return tuple(sorted(tags))
+
+
+def trace_digest(recorder: Recorder, extra: dict | None = None) -> str:
+    """SHA-256 over a recorder's canonical span/counter dump."""
+    payload = {
+        "spans": [s.to_dict() for s in recorder.spans],
+        "counters": dict(sorted(recorder.counters.items())),
+        "histograms": {
+            name: h.to_dict()
+            for name, h in sorted(recorder.histograms.items())
+        },
+    }
+    if extra:
+        payload["extra"] = extra
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _run_once(lib, config, size: int, plan) -> ReplayResult:
+    recorder = Recorder(meta={
+        "verify": True,
+        "library": getattr(lib, "name", type(lib).__name__),
+        "size": size,
+    })
+    engine = Engine(obs=recorder)
+    sender, receiver = lib.build(engine, config)
+    if plan is not None:
+        # Both endpoints share one SimChannel; installing on either
+        # endpoint's channel covers both directions.
+        sender.ep.channel.faults = plan
+    p_send = engine.process(sender.send(size))
+    p_recv = engine.process(receiver.recv(size))
+    engine.run()
+
+    completed = p_send.triggered and p_recv.triggered
+    blocked = tuple(
+        None if proc.triggered else _blocked_tags(ep)
+        for proc, ep in ((p_send, sender), (p_recv, receiver))
+    )
+    dropped = getattr(sender.ep.channel, "messages_dropped", 0)
+    extra = {
+        "completed": completed,
+        "blocked": [list(b) if b is not None else None for b in blocked],
+        "sim_time": engine.now,
+        "dropped": dropped,
+    }
+    return ReplayResult(
+        completed=completed,
+        blocked=blocked,  # type: ignore[arg-type]
+        sim_time=engine.now,
+        messages_dropped=dropped,
+        digest=trace_digest(recorder, extra),
+        recorder=recorder,
+    )
+
+
+def replay(lib, config, size: int, plan=None) -> ReplayResult:
+    """Replay one scenario twice; assert bit-determinism; return it.
+
+    ``lib`` is an :class:`~repro.mplib.base.MPLibrary`, ``config`` a
+    :class:`~repro.hw.cluster.ClusterConfig` it accepts, ``plan`` an
+    optional wire-fault plan.  Raises ``RuntimeError`` if the two runs'
+    trace digests differ — a nondeterministic replay proves nothing.
+    """
+    first = _run_once(lib, config, size, plan)
+    second = _run_once(lib, config, size, plan)
+    if first.digest != second.digest:
+        raise RuntimeError(
+            "replay is not deterministic: trace digests differ "
+            f"({first.digest[:12]} != {second.digest[:12]})"
+        )
+    return first
+
+
+def confirm(cex: Counterexample, lib, config) -> dict:
+    """Replay a counterexample; return the confirmation record.
+
+    The record (attached to the counterexample by the universe driver)
+    states whether the engine reproduced the modeled verdict: for
+    deadlock/liveness/progress violations the run must wedge; for
+    threshold disagreements the mismatched handshake itself wedges the
+    pair.  ``confirmed`` is the model-vs-engine agreement bit.
+    """
+    result = replay(lib, config, cex.size, wire_plan_for(cex))
+    expected_stuck = cex.prop in ("deadlock", "liveness", "threshold", "progress")
+    return {
+        "confirmed": result.stuck == expected_stuck,
+        "stuck": result.stuck,
+        "blocked": [
+            list(b) if b is not None else None for b in result.blocked
+        ],
+        "sim_time": result.sim_time,
+        "dropped": result.messages_dropped,
+        "digest": result.digest,
+    }

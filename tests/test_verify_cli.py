@@ -1,0 +1,76 @@
+"""Verify tier: the ``python -m repro verify`` command surface.
+
+Exit codes, output formats (text/json/sarif), the cache environment
+default, and argument validation — everything CI scripts rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.verify.cli import main
+
+pytestmark = pytest.mark.verify
+
+
+def test_single_library_verifies_clean(capsys):
+    assert main(["mpich"]) == 0
+    out = capsys.readouterr().out
+    assert "no counterexamples" in out
+
+
+def test_stats_output_accounts_for_the_exploration(capsys):
+    assert main(["mpich", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "path pairs" in out and "mpich" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    assert main(["mpich", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["verdicts"][0]["library"] == "mpich"
+    assert payload["verdicts"][0]["counterexamples"] == []
+
+
+def test_sarif_format_is_a_valid_empty_run(capsys):
+    assert main(["mpich", "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["results"] == []
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"verify-deadlock", "verify-threshold",
+            "verify-progress", "verify-liveness"} <= rule_ids
+
+
+def test_unknown_library_is_a_usage_error(capsys):
+    assert main(["definitely-not-a-library"]) == 2
+    assert "unknown library" in capsys.readouterr().err
+
+
+def test_malformed_sizes_are_a_usage_error(capsys):
+    assert main(["mpich", "--sizes", "1,zap"]) == 2
+    assert "--sizes" in capsys.readouterr().err
+
+
+def test_cache_flag_wins_over_environment(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY_CACHE", str(tmp_path / "env"))
+    assert main(["mpich", "--cache", str(tmp_path / "flag")]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "flag").exists()
+    assert not (tmp_path / "env").exists()
+
+
+def test_cache_environment_default(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY_CACHE", str(tmp_path / "env"))
+    assert main(["mpich"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "env").exists()
+
+
+def test_module_entry_point_forwards(capsys):
+    from repro.__main__ import main as repro_main
+
+    assert repro_main(["verify", "mpich", "--stats"]) == 0
+    assert "path pairs" in capsys.readouterr().out

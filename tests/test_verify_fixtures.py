@@ -1,0 +1,173 @@
+"""Verify tier: seeded protocol mutants produce replayable witnesses.
+
+Each fixture under ``tests/verify_fixtures/`` is the clean rendezvous
+protocol with exactly one seeded bug.  For every mutant this file
+proves the full pipeline end to end: the model checker emits the
+expected counterexample, the counterexample replays on the real event
+engine into the *same* stuck state, and the replay is bit-deterministic
+(identical obs-trace digests across runs).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.check.project import Project
+from repro.experiments.configs import pc_netgear_ga620
+from repro.verify import replay as vreplay
+from repro.verify.explore import verify_pairing
+from repro.verify.extract import iter_endpoint_models
+from repro.verify.model import enumerate_paths
+from repro.verify.universe import sizes_for_spec
+
+pytestmark = pytest.mark.verify
+
+FIXTURES = Path(__file__).parent / "verify_fixtures"
+CONFIG = pc_netgear_ga620()
+
+
+def load_fixture(name):
+    spec = importlib.util.spec_from_file_location(
+        f"verify_fixture_{name}", FIXTURES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def model_check(name, spec):
+    """(model, counterexamples, witnesses) for one fixture file."""
+    project = Project.from_paths([FIXTURES / f"{name}.py"])
+    models = list(iter_endpoint_models(project))
+    assert len(models) == 1, [m.name for m in models]
+    model = models[0]
+    paths_by_size = {
+        size: (
+            enumerate_paths(model.leg("send"), spec, size),
+            enumerate_paths(model.leg("recv"), spec, size),
+        )
+        for size in sizes_for_spec(spec)
+    }
+    cexs, witnesses, _stats = verify_pairing(
+        model.name, name, spec, paths_by_size, check_faults=True
+    )
+    return model, cexs, witnesses
+
+
+# -- clean twin ---------------------------------------------------------------
+
+def test_clean_twin_model_checks_clean_and_replays_to_completion():
+    fx = load_fixture("clean_rendezvous")
+    _model, cexs, witnesses = model_check(
+        "clean_rendezvous", fx.FixtureSpec()
+    )
+    assert cexs == []
+    assert witnesses, "drops must wedge the non-recovering clean twin"
+    result = vreplay.replay(
+        fx.CleanRendezvousLib(), CONFIG, fx.FIXTURE_THRESHOLD + 1
+    )
+    assert result.completed
+
+
+# -- mutant: rendezvous ack dropped ------------------------------------------
+
+def test_ack_dropped_mutant_deadlocks_and_replay_confirms():
+    fx = load_fixture("rdv_ack_dropped")
+    _model, cexs, _w = model_check("rdv_ack_dropped", fx.FixtureSpec())
+    deadlocks = [c for c in cexs if c.prop == "deadlock"]
+    assert deadlocks, [c.describe() for c in cexs]
+    # Deadlock in the rendezvous regime only.
+    assert {c.size for c in deadlocks} == {
+        fx.FIXTURE_THRESHOLD, fx.FIXTURE_THRESHOLD + 1, 1 << 20
+    }
+    confirmation = vreplay.confirm(
+        deadlocks[0], fx.AckDroppedLib(), CONFIG
+    )
+    assert confirmation["confirmed"] and confirmation["stuck"]
+    # The engine wedges exactly as modeled: sender on cts, recv on data.
+    assert confirmation["blocked"] == [["cts"], ["data"]]
+
+
+# -- mutant: mismatched thresholds -------------------------------------------
+
+def test_threshold_mutant_fires_only_at_the_boundary_size():
+    fx = load_fixture("mismatched_thresholds")
+    _model, cexs, _w = model_check(
+        "mismatched_thresholds", fx.FixtureSpec()
+    )
+    thresholds = [c for c in cexs if c.prop == "threshold"]
+    assert [c.size for c in thresholds] == [fx.FIXTURE_THRESHOLD]
+    confirmation = vreplay.confirm(
+        thresholds[0], fx.MismatchedThresholdLib(), CONFIG
+    )
+    assert confirmation["confirmed"] and confirmation["stuck"]
+
+
+# -- mutant: unbacked recovery claim -----------------------------------------
+
+def test_claims_recovery_mutant_violates_liveness_under_drops():
+    fx = load_fixture("claims_recovery")
+    _model, cexs, witnesses = model_check(
+        "claims_recovery", fx.FixtureSpec()
+    )
+    liveness = [c for c in cexs if c.prop == "liveness"]
+    assert liveness and witnesses == []
+    assert all(c.fault is not None for c in liveness)
+    confirmation = vreplay.confirm(
+        liveness[0], fx.ClaimsRecoveryLib(), CONFIG
+    )
+    assert confirmation["confirmed"] and confirmation["stuck"]
+    assert confirmation["dropped"] == 1
+
+
+def test_same_protocol_without_the_claim_yields_witnesses_not_findings():
+    fx = load_fixture("clean_rendezvous")
+    truthful = fx.FixtureSpec(recovers_from_loss=False)
+    _m, cexs, witnesses = model_check("clean_rendezvous", truthful)
+    assert [c for c in cexs if c.prop == "liveness"] == []
+    assert all(w.prop == "liveness" for w in witnesses)
+
+
+# -- bit-determinism ----------------------------------------------------------
+
+@pytest.mark.parametrize("size_offset", [0, 1])
+def test_mutant_replay_is_bit_deterministic(size_offset):
+    fx = load_fixture("rdv_ack_dropped")
+    size = fx.FIXTURE_THRESHOLD + size_offset
+    digests = set()
+    for _ in range(3):
+        result = vreplay.replay(fx.AckDroppedLib(), CONFIG, size)
+        assert result.stuck
+        digests.add(result.digest)
+    assert len(digests) == 1, "replays must hash identically"
+
+
+def test_fault_replay_is_bit_deterministic():
+    fx = load_fixture("claims_recovery")
+    _m, cexs, _w = model_check("claims_recovery", fx.FixtureSpec())
+    cex = [c for c in cexs if c.prop == "liveness"][0]
+    plan = vreplay.wire_plan_for(cex)
+    first = vreplay.replay(fx.ClaimsRecoveryLib(), CONFIG, cex.size, plan)
+    second = vreplay.replay(fx.ClaimsRecoveryLib(), CONFIG, cex.size, plan)
+    assert first.digest == second.digest
+    assert first.messages_dropped == second.messages_dropped == 1
+
+
+# -- repro check integration --------------------------------------------------
+
+def _check_rules(path):
+    from repro.check.analyzer import analyze_project
+
+    project = Project.from_paths([path])
+    return {f.rule for f in analyze_project(project)}
+
+
+def test_check_family_flags_the_mutants_and_passes_the_twin():
+    assert "verify-deadlock" in _check_rules(
+        FIXTURES / "rdv_ack_dropped.py"
+    )
+    assert "verify-threshold" in _check_rules(
+        FIXTURES / "mismatched_thresholds.py"
+    )
+    assert _check_rules(FIXTURES / "clean_rendezvous.py") == set()

@@ -1,0 +1,94 @@
+"""Verify tier: endpoint-model extraction and path enumeration.
+
+The model layer (:mod:`repro.verify.model` + ``extract``) compiles the
+real mplib endpoint generators into bounded state machines.  These
+tests pin the structural claims everything downstream rests on: which
+classes compile, how spec applicability partitions the universe, and
+that the enumerated paths flip regime exactly at the spec threshold.
+"""
+
+import pytest
+
+from repro.mplib.registry import get_library
+from repro.verify import build_models
+from repro.verify.model import (
+    SpecNotApplicable,
+    enumerate_paths,
+)
+
+pytestmark = pytest.mark.verify
+
+
+@pytest.fixture(scope="module")
+def models():
+    return build_models()
+
+
+def test_all_three_endpoint_families_compile(models):
+    assert set(models) == {
+        "TcpLibEndpoint", "OsBypassEndpoint", "_PassthroughEndpoint"
+    }
+
+
+def test_models_carry_both_legs_with_source_anchors(models):
+    for model in models.values():
+        for leg in ("send", "recv"):
+            assert model.leg(leg), (model.name, leg)
+            path, line = model.method_locs[leg]
+            assert path.endswith(".py") and line > 0
+
+
+def test_paths_flip_regime_exactly_at_the_threshold(models):
+    spec = get_library("mpich").spec
+    t = spec.eager_threshold
+    assert t is not None
+    send = models["TcpLibEndpoint"].leg("send")
+
+    def has_rts(size):
+        paths = enumerate_paths(send, spec, size)
+        regimes = {p.has("send", "rts") for p in paths}
+        assert len(regimes) == 1, "regime must be decided at every size"
+        return regimes.pop()
+
+    assert not has_rts(t - 1)
+    assert has_rts(t)
+    assert has_rts(t + 1)
+
+
+def test_foreign_spec_is_not_applicable(models):
+    # An OS-bypass spec lacks the TCP spec attributes the TCP endpoint
+    # guards on; the model must refuse the pairing, not guess.
+    via_spec = get_library("mvich").spec
+    with pytest.raises(SpecNotApplicable):
+        enumerate_paths(
+            models["TcpLibEndpoint"].leg("send"), via_spec, 1024
+        )
+
+
+def test_spec_applicability_partitions_the_universe(models):
+    from repro.mplib.registry import iter_spec_universe
+
+    applicable = {name: 0 for name in models}
+    for _spec_name, spec in iter_spec_universe():
+        for name, model in models.items():
+            try:
+                enumerate_paths(model.leg("send"), spec, 1024)
+                enumerate_paths(model.leg("recv"), spec, 1024)
+            except SpecNotApplicable:
+                continue
+            applicable[name] += 1
+    # The passthrough endpoint reads no spec attribute, so every spec
+    # applies; the TCP/OS-bypass endpoints accept only their own kind.
+    assert applicable["_PassthroughEndpoint"] == 27
+    assert applicable["TcpLibEndpoint"] == 18
+    assert applicable["OsBypassEndpoint"] == 9
+
+
+def test_every_op_carries_a_clickable_anchor(models):
+    spec = get_library("mpich").spec
+    for leg in ("send", "recv"):
+        for path in enumerate_paths(
+            models["TcpLibEndpoint"].leg(leg), spec, 1 << 20
+        ):
+            for op in path.ops:
+                assert op.path and op.line > 0, op

@@ -1,0 +1,72 @@
+# repro: module=repro.mplib.fixture_claims_recovery
+"""Seeded mutant: a spec claiming loss recovery over a lossless-only
+protocol.
+
+The endpoint is the correct clean handshake — the bug is in the
+*claim*: ``FixtureSpec.recovers_from_loss`` is True, yet the protocol
+has no retransmission, so any single dropped handshake message wedges
+the pair.  ``repro.verify``'s fault sweep must emit a
+``verify-liveness`` counterexample (for non-claiming specs the same
+stuck state is only an expected-stuck witness), and its replay must
+wedge the engine under the counterexample's wire-fault plan.
+"""
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.net.channel import Endpoint, SimChannel
+from repro.net.tcp import TcpModel, TcpTuning
+
+FIXTURE_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    eager_threshold: int | None = FIXTURE_THRESHOLD
+    # BUG (seeded): claims recovery the protocol does not implement.
+    recovers_from_loss: bool = True
+
+
+class ClaimsRecoveryEndpoint:
+    """Correct handshake — but its spec promises loss recovery."""
+
+    def __init__(self, spec: FixtureSpec, endpoint: Endpoint):
+        self.spec = spec
+        self.ep = endpoint
+
+    def _is_rendezvous(self, nbytes: int) -> bool:
+        t = self.spec.eager_threshold
+        return t is not None and nbytes >= t
+
+    def send(self, nbytes: int) -> Generator:
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.send(32, tag="rts")
+            yield from self.ep.recv(tag="cts")
+            yield from self.ep.send(nbytes, tag="data")
+        else:
+            yield from self.ep.send(nbytes, tag="data")
+
+    def recv(self, nbytes: int) -> Generator:
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.recv(tag="rts")
+            yield from self.ep.send(32, tag="cts")
+        msg = yield from self.ep.recv(tag="data")
+        return msg
+
+
+class ClaimsRecoveryLib:
+    name = "fixture-claims-recovery"
+    display_name = "fixture: claims loss recovery"
+
+    def __init__(self, spec: FixtureSpec | None = None):
+        self.spec = FixtureSpec() if spec is None else spec
+
+    def link_model(self, config) -> TcpModel:
+        return TcpModel(config, TcpTuning())
+
+    def build(self, engine, config):
+        channel = SimChannel(engine, self.link_model(config))
+        return (
+            ClaimsRecoveryEndpoint(self.spec, channel.endpoints[0]),
+            ClaimsRecoveryEndpoint(self.spec, channel.endpoints[1]),
+        )

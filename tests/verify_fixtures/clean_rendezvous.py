@@ -1,0 +1,75 @@
+# repro: module=repro.mplib.fixture_clean_rendezvous
+"""Clean twin: a correct eager/rendezvous handshake pair.
+
+Verification fixture (see docs/VERIFICATION.md): this endpoint
+implements the textbook protocol — both sides derive the regime from
+the same predicate, the receiver acknowledges every RTS with a CTS —
+so ``repro.verify`` must find **zero** counterexamples against every
+spec in the registry universe.  The mutant fixtures next to this file
+are copies of it with one seeded protocol bug each.
+"""
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.net.channel import Endpoint, SimChannel
+from repro.net.tcp import TcpModel, TcpTuning
+
+#: Small threshold so tests exercise both regimes with tiny messages.
+FIXTURE_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    """Minimal spec: just the regime threshold (and a recovery claim
+    flag for the liveness fixture's twin tests)."""
+
+    eager_threshold: int | None = FIXTURE_THRESHOLD
+    recovers_from_loss: bool = False
+
+
+class CleanRendezvousEndpoint:
+    """Correct two-sided handshake over one SimChannel endpoint."""
+
+    def __init__(self, spec: FixtureSpec, endpoint: Endpoint):
+        self.spec = spec
+        self.ep = endpoint
+
+    def _is_rendezvous(self, nbytes: int) -> bool:
+        t = self.spec.eager_threshold
+        return t is not None and nbytes >= t
+
+    def send(self, nbytes: int) -> Generator:
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.send(32, tag="rts")
+            yield from self.ep.recv(tag="cts")
+            yield from self.ep.send(nbytes, tag="data")
+        else:
+            yield from self.ep.send(nbytes, tag="data")
+
+    def recv(self, nbytes: int) -> Generator:
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.recv(tag="rts")
+            yield from self.ep.send(32, tag="cts")
+        msg = yield from self.ep.recv(tag="data")
+        return msg
+
+
+class CleanRendezvousLib:
+    """Runtime twin of the model: buildable for engine replay."""
+
+    name = "fixture-clean-rendezvous"
+    display_name = "fixture: clean rendezvous"
+
+    def __init__(self, spec: FixtureSpec | None = None):
+        self.spec = FixtureSpec() if spec is None else spec
+
+    def link_model(self, config) -> TcpModel:
+        return TcpModel(config, TcpTuning())
+
+    def build(self, engine, config):
+        channel = SimChannel(engine, self.link_model(config))
+        return (
+            CleanRendezvousEndpoint(self.spec, channel.endpoints[0]),
+            CleanRendezvousEndpoint(self.spec, channel.endpoints[1]),
+        )

@@ -1,0 +1,75 @@
+# repro: module=repro.mplib.fixture_mismatched_thresholds
+"""Seeded mutant: sender and receiver disagree on the regime boundary.
+
+Copy of ``clean_rendezvous.py`` with one bug: the sender switches to
+rendezvous at ``nbytes >= threshold`` but the receiver only at
+``nbytes > threshold`` — the classic off-by-one threshold mismatch
+the paper's protocol dips make so costly.  At exactly the threshold
+the sender runs the RTS/CTS handshake while the receiver waits for
+eager data: ``repro.verify`` must emit a ``verify-threshold``
+counterexample pinned to that one probe size (threshold ± 1 agree).
+"""
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.net.channel import Endpoint, SimChannel
+from repro.net.tcp import TcpModel, TcpTuning
+
+FIXTURE_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    eager_threshold: int | None = FIXTURE_THRESHOLD
+    recovers_from_loss: bool = False
+
+
+class MismatchedThresholdEndpoint:
+    """Handshake whose two legs disagree at nbytes == threshold."""
+
+    def __init__(self, spec: FixtureSpec, endpoint: Endpoint):
+        self.spec = spec
+        self.ep = endpoint
+
+    def _send_rendezvous(self, nbytes: int) -> bool:
+        t = self.spec.eager_threshold
+        return t is not None and nbytes >= t
+
+    def _recv_rendezvous(self, nbytes: int) -> bool:
+        # BUG (seeded): strict > where the send side uses >=.
+        t = self.spec.eager_threshold
+        return t is not None and nbytes > t
+
+    def send(self, nbytes: int) -> Generator:
+        if self._send_rendezvous(nbytes):
+            yield from self.ep.send(32, tag="rts")
+            yield from self.ep.recv(tag="cts")
+            yield from self.ep.send(nbytes, tag="data")
+        else:
+            yield from self.ep.send(nbytes, tag="data")
+
+    def recv(self, nbytes: int) -> Generator:
+        if self._recv_rendezvous(nbytes):
+            yield from self.ep.recv(tag="rts")
+            yield from self.ep.send(32, tag="cts")
+        msg = yield from self.ep.recv(tag="data")
+        return msg
+
+
+class MismatchedThresholdLib:
+    name = "fixture-mismatched-thresholds"
+    display_name = "fixture: mismatched thresholds"
+
+    def __init__(self, spec: FixtureSpec | None = None):
+        self.spec = FixtureSpec() if spec is None else spec
+
+    def link_model(self, config) -> TcpModel:
+        return TcpModel(config, TcpTuning())
+
+    def build(self, engine, config):
+        channel = SimChannel(engine, self.link_model(config))
+        return (
+            MismatchedThresholdEndpoint(self.spec, channel.endpoints[0]),
+            MismatchedThresholdEndpoint(self.spec, channel.endpoints[1]),
+        )

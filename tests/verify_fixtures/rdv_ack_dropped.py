@@ -1,0 +1,70 @@
+# repro: module=repro.mplib.fixture_rdv_ack_dropped
+"""Seeded mutant: the receiver's rendezvous CTS ack leg is deleted.
+
+Copy of ``clean_rendezvous.py`` with one bug: ``recv`` consumes the
+RTS but never answers with a CTS, so above the threshold the sender
+blocks on ``recv("cts")`` while the receiver blocks on
+``recv("data")`` — a deadlock.  ``repro.verify`` must emit a
+``verify-deadlock`` counterexample for every rendezvous-capable spec,
+and its engine replay must wedge with exactly those two pending
+receives, bit-deterministically.
+"""
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.net.channel import Endpoint, SimChannel
+from repro.net.tcp import TcpModel, TcpTuning
+
+FIXTURE_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    eager_threshold: int | None = FIXTURE_THRESHOLD
+    recovers_from_loss: bool = False
+
+
+class AckDroppedEndpoint:
+    """Handshake whose passive side never acknowledges the RTS."""
+
+    def __init__(self, spec: FixtureSpec, endpoint: Endpoint):
+        self.spec = spec
+        self.ep = endpoint
+
+    def _is_rendezvous(self, nbytes: int) -> bool:
+        t = self.spec.eager_threshold
+        return t is not None and nbytes >= t
+
+    def send(self, nbytes: int) -> Generator:
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.send(32, tag="rts")
+            yield from self.ep.recv(tag="cts")
+            yield from self.ep.send(nbytes, tag="data")
+        else:
+            yield from self.ep.send(nbytes, tag="data")
+
+    def recv(self, nbytes: int) -> Generator:
+        if self._is_rendezvous(nbytes):
+            yield from self.ep.recv(tag="rts")
+            # BUG (seeded): the CTS acknowledgement was dropped here.
+        msg = yield from self.ep.recv(tag="data")
+        return msg
+
+
+class AckDroppedLib:
+    name = "fixture-rdv-ack-dropped"
+    display_name = "fixture: rendezvous ack dropped"
+
+    def __init__(self, spec: FixtureSpec | None = None):
+        self.spec = FixtureSpec() if spec is None else spec
+
+    def link_model(self, config) -> TcpModel:
+        return TcpModel(config, TcpTuning())
+
+    def build(self, engine, config):
+        channel = SimChannel(engine, self.link_model(config))
+        return (
+            AckDroppedEndpoint(self.spec, channel.endpoints[0]),
+            AckDroppedEndpoint(self.spec, channel.endpoints[1]),
+        )
