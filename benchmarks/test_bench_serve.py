@@ -1,0 +1,115 @@
+"""Bench: warm serve queries answer in milliseconds; herds cost one sweep.
+
+Two machine-checkable claims about the serving layer:
+
+* **warm latency** — once a curve is in the hot tier, the p50 query
+  latency (full pipeline: resolve, route, fingerprint, hot hit,
+  metrics, cost block) stays under a pinned budget.  The budget is
+  generous against CI jitter; the point is catching a regression that
+  puts a simulation — three orders of magnitude slower — back on the
+  warm path.
+* **herd cost** — a 64-task thundering herd of one identical cold
+  query performs exactly one simulation (structural claim, asserted
+  from the executor counters, host-speed independent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from conftest import report
+
+from repro.exec import ExecPolicy, SweepCache
+from repro.serve import ServeCore, ServeQuery
+
+#: p50 wall budget for a hot-tier answer, full pipeline included.
+WARM_P50_BUDGET_SECONDS = 0.005
+
+WARM_SAMPLES = 50
+HERD = 64
+QUERY = ServeQuery(library="mpich", sizes=(1, 64, 1024), nodes=8)
+
+
+def _core(tmp_path) -> ServeCore:
+    return ServeCore(
+        cache=SweepCache(tmp_path / "cache"),
+        policy=ExecPolicy(max_workers=1),
+        hot_size=32,
+        max_pending=8,
+    )
+
+
+def test_warm_query_p50_under_budget(tmp_path):
+    core = _core(tmp_path)
+
+    async def run():
+        t0 = time.perf_counter()
+        first = await core.query(QUERY)
+        cold_s = time.perf_counter() - t0
+        assert first.source == "computed"
+
+        laps = []
+        for _ in range(WARM_SAMPLES):
+            t0 = time.perf_counter()
+            response = await core.query(QUERY)
+            laps.append(time.perf_counter() - t0)
+            assert response.source == "hot"
+        await core.aclose()
+        return cold_s, sorted(laps)
+
+    cold_s, laps = asyncio.run(run())
+    p50 = laps[len(laps) // 2]
+    assert p50 < WARM_P50_BUDGET_SECONDS, (
+        f"warm serve p50 {p50 * 1e3:.2f} ms over the "
+        f"{WARM_P50_BUDGET_SECONDS * 1e3:.0f} ms budget"
+    )
+
+    report(
+        "repro.serve warm-query latency",
+        "\n".join(
+            [
+                f"cold (simulated) query  {cold_s * 1e3:8.2f} ms",
+                f"warm p50                {p50 * 1e3:8.3f} ms",
+                f"warm worst              {laps[-1] * 1e3:8.3f} ms",
+                f"speedup                 {cold_s / p50:8.0f}x",
+            ]
+        ),
+    )
+
+
+def test_herd_of_identical_queries_costs_one_simulation(tmp_path):
+    core = _core(tmp_path)
+
+    async def run():
+        t0 = time.perf_counter()
+        responses = await asyncio.gather(
+            *[core.query(QUERY) for _ in range(HERD)]
+        )
+        elapsed = time.perf_counter() - t0
+        stats = core.stats()
+        await core.aclose()
+        return responses, stats, elapsed
+
+    responses, stats, elapsed = asyncio.run(run())
+    assert len(responses) == HERD
+    assert stats["exec"]["simulated"] == 1  # the herd guarantee
+    assert stats["sources"]["computed"] == 1
+    assert stats["sources"]["coalesced"] == HERD - 1
+    curves = {tuple(p.oneway_time for p in r.result.points)
+              for r in responses}
+    assert len(curves) == 1  # one identical answer for everyone
+
+    report(
+        "repro.serve thundering herd",
+        "\n".join(
+            [
+                f"concurrent identical queries  {HERD}",
+                f"simulations performed         "
+                f"{stats['exec']['simulated']}",
+                f"herd wall time                {elapsed * 1e3:8.1f} ms",
+                f"per-caller amortized          "
+                f"{elapsed / HERD * 1e3:8.2f} ms",
+            ]
+        ),
+    )

@@ -14,6 +14,7 @@ Commands
 ``check``                protocol-flow, dimension & determinism static analysis
 ``verify``               bounded model checking of library handshakes
 ``trace``                record a Chrome/Perfetto protocol trace
+``serve``                what-if query service (newline-JSON over TCP)
 
 ``figures``/``figure`` also accept ``--trace FILE`` to record the
 run's protocol events alongside the normal output, and — like
@@ -285,6 +286,63 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the what-if query service (or answer one --query inline)."""
+    import asyncio
+    import json
+
+    from repro.exec import ExecPolicy
+    from repro.serve import ServeCore, ServeFrontend, ServeQuery
+
+    policy = ExecPolicy.resolve(
+        max_workers=args.workers, timeout=args.timeout,
+        retries=args.retries, tier=args.tier,
+    )
+
+    def build_core() -> ServeCore:
+        return ServeCore(
+            cache=_sweep_cache(args),
+            policy=policy,
+            hot_size=args.hot_size,
+            max_pending=args.max_pending,
+            speculate=not args.no_speculate,
+        )
+
+    if args.query is not None:
+        async def one_shot() -> int:
+            core = build_core()
+            try:
+                query = ServeQuery.from_jsonable(json.loads(args.query))
+                response = await core.query(query)
+            finally:
+                await core.aclose()
+            print(json.dumps(response.to_jsonable(), indent=2))
+            if args.stats:
+                print(json.dumps(core.stats(), indent=2))
+            return 0
+
+        return asyncio.run(one_shot())
+
+    async def run_server() -> int:
+        core = build_core()
+        frontend = ServeFrontend(core, host=args.host, port=args.port)
+        host, port = await frontend.start()
+        # flush: a supervisor reading the bound port through a pipe
+        # must see the banner before the first connection.
+        print(f"repro serve listening on {host}:{port} "
+              f"(tier={policy.tier}, workers={policy.max_workers})",
+              flush=True)
+        try:
+            await frontend.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await frontend.aclose()
+        return 0
+
+    return asyncio.run(run_server())
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Static analysis over the simulation core (repro.check)."""
     from repro.check.cli import main as check_main
@@ -429,6 +487,43 @@ def main(argv: list[str] | None = None) -> int:
         help="libraries and options passed to repro.verify.cli",
     )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "serve", help="what-if query service (newline-JSON over TCP)"
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default loopback)",
+    )
+    p.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="port to bind; 0 picks an ephemeral port and prints it",
+    )
+    p.add_argument(
+        "--hot-size", type=int, default=128, metavar="N",
+        help="in-memory hot-curve LRU capacity (0 disables)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=8, metavar="N",
+        help="admission limit on concurrently computing requests; "
+             "past it the service sheds load with a typed error",
+    )
+    p.add_argument(
+        "--no-speculate", action="store_true",
+        help="disable background precomputation of neighbor queries",
+    )
+    p.add_argument(
+        "--query", default=None, metavar="JSON",
+        help="answer one query inline (JSON object) and exit "
+             "instead of binding a port",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="with --query: also print the service stats document",
+    )
+    add_exec_options(p)
+    add_tier_option(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("loopback", help="live loopback NetPIPE")
     p.add_argument("--max-size", type=int, default=1 << 20)

@@ -100,23 +100,31 @@ DEFAULT_POLICY = Policy(
         # its *descriptions* of failure must be as deterministic as the
         # sweeps they perturb.  repro.verify's verdicts gate CI, so a
         # nondeterministic verifier would be worse than none.
+        # repro.serve answers from content-addressed caches, so its
+        # answers must be functions of the query alone; its two
+        # sanctioned boundary effects (the asyncio event loop, the
+        # wall clock behind latency spans) carry line-level allow
+        # markers and never flow into curve content.
         "determinism": SIM_PACKAGES + (
             "repro.exec", "repro.obs", "repro.analytic",
-            "repro.faults", "repro.verify",
+            "repro.faults", "repro.verify", "repro.serve",
         ),
         "purity": SIM_PACKAGES + (
             "repro.obs", "repro.analytic", "repro.faults",
-            "repro.verify",
+            "repro.verify", "repro.serve",
         ),
         "yield-discipline": None,  # a discarded generator is dead code anywhere
         "cache-safety": SIM_PACKAGES + (
             "repro.obs", "repro.analytic", "repro.verify",
+            "repro.serve",
         ),
         # The generator state machines live in repro.mplib; handshake
         # pairing and spec reachability are meaningless elsewhere.
         # repro.faults is in scope too: its wire-fault plans name the
-        # same handshake tags the endpoints block on.
-        "protocol-flow": ("repro.mplib", "repro.faults"),
+        # same handshake tags the endpoints block on.  repro.serve
+        # relays typed errors derived from those flows, so it rides
+        # along (the rules simply find nothing to pair there).
+        "protocol-flow": ("repro.mplib", "repro.faults", "repro.serve"),
         # Semantic model checking of the same endpoint classes.
         "verify": ("repro.mplib",),
         # SI-unit discipline over the timing models.  Analysis and

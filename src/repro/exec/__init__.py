@@ -15,11 +15,20 @@ result before returning or caching it — see
 :mod:`repro.exec.scheduler` for the full story and :mod:`repro.faults`
 for the deterministic fault injection the chaos tests use to prove it.
 
-See docs/PERFORMANCE.md for the cache layout and invalidation rules,
-and docs/TESTING.md for the test tiers covering this package.
+Long-lived callers resolve an :class:`ExecPolicy` once and drive
+:func:`execute_with_policy` — that is how the :mod:`repro.serve` query
+front end runs every request through the same hardened core.  Tier
+routing (sim vs closed-form analytic) is its own reusable piece,
+:mod:`repro.exec.tiers`.
+
+See docs/PERFORMANCE.md for the cache layout and invalidation rules
+(fingerprint-sharded directories with a migration shim for the early
+flat layout), docs/SERVING.md for the serving architecture on top, and
+docs/TESTING.md for the test tiers covering this package.
 """
 
 from repro.exec.cache import CACHE_DIR_ENV, SweepCache
+from repro.exec.errors import SweepExecutionError
 from repro.exec.fingerprint import (
     CODE_SALT,
     canonicalize,
@@ -27,28 +36,33 @@ from repro.exec.fingerprint import (
     source_digest,
     sweep_fingerprint,
 )
-from repro.exec.scheduler import (
+from repro.exec.knobs import (
     RETRIES_ENV,
     TIER_ENV,
     TIMEOUT_ENV,
     VALID_TIERS,
     WORKERS_ENV,
-    ExecEvent,
-    RunReport,
-    SweepExecutionError,
-    SweepRequest,
-    SweepStats,
     default_retries,
     default_tier,
     default_timeout,
     default_workers,
-    execute_sweeps,
 )
+from repro.exec.policy import ExecPolicy
+from repro.exec.scheduler import (
+    ExecEvent,
+    RunReport,
+    SweepRequest,
+    SweepStats,
+    execute_sweeps,
+    execute_with_policy,
+)
+from repro.exec.tiers import TierPlan, analytic_ineligibility, plan_tiers
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CODE_SALT",
     "ExecEvent",
+    "ExecPolicy",
     "RETRIES_ENV",
     "RunReport",
     "SweepCache",
@@ -57,15 +71,19 @@ __all__ = [
     "SweepStats",
     "TIER_ENV",
     "TIMEOUT_ENV",
+    "TierPlan",
     "VALID_TIERS",
     "WORKERS_ENV",
+    "analytic_ineligibility",
     "canonicalize",
     "code_salt",
     "default_retries",
     "default_tier",
     "default_timeout",
     "default_workers",
-    "source_digest",
     "execute_sweeps",
+    "execute_with_policy",
+    "plan_tiers",
+    "source_digest",
     "sweep_fingerprint",
 ]

@@ -1,10 +1,13 @@
 """Content-addressed on-disk cache for NetPIPE sweep results.
 
 Layout: ``<root>/<aa>/<fingerprint>.json`` where ``aa`` is the first
-two hex digits of the fingerprint (a fan-out so no single directory
-grows unbounded).  Entries are the same JSON documents
-:mod:`repro.core.io` writes for baselines, so a cache entry can be
-inspected — or diffed against a live run — with the ordinary tooling.
+two hex digits — the first *byte* — of the fingerprint: 256 shards, so
+no single directory grows unbounded and concurrent readers (the
+:mod:`repro.serve` front end keeps one cache open for its whole
+lifetime) never scan one giant listing.  Entries are the same JSON
+documents :mod:`repro.core.io` writes for baselines, so a cache entry
+can be inspected — or diffed against a live run — with the ordinary
+tooling.
 
 Semantics:
 
@@ -21,6 +24,12 @@ Semantics:
   schedule, repeats, or the code salt produces a different fingerprint
   and therefore a cold entry.  ``invalidate``/``clear`` exist for
   explicit housekeeping.
+* **migration** — very early caches stored entries *flat*
+  (``<root>/<fingerprint>.json``).  A sharded-path miss falls back to
+  the flat location, and a flat hit is promoted into its shard on the
+  spot (best-effort atomic rename), so a pre-shard cache directory
+  keeps its warmth and converges to the sharded layout as it is read.
+  :meth:`SweepCache.migrate_flat` sweeps the remainder in one call.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ class SweepCache:
         self.misses = 0
         self.corrupt = 0
         self.write_errors = 0
+        self.migrated = 0
 
     @classmethod
     def from_env(cls) -> "SweepCache | None":
@@ -62,18 +72,43 @@ class SweepCache:
         """Where a given fingerprint lives (whether or not it exists)."""
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> NetPipeResult | None:
-        """The cached curve, or None on miss (including corrupt files)."""
-        path = self.path_for(fingerprint)
+    def flat_path_for(self, fingerprint: str) -> Path:
+        """The pre-shard location of a fingerprint (migration source)."""
+        return self.root / f"{fingerprint}.json"
+
+    def _read(self, path: Path) -> NetPipeResult | None:
+        """Parse one entry file; None when absent or corrupt."""
         try:
             data = json.loads(path.read_text())
-            result = result_from_dict(data)
+            return result_from_dict(data)
         except FileNotFoundError:
-            self.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError):
             # Truncated or hand-mangled entry: a miss, not an error.
             self.corrupt += 1
+            return None
+
+    def get(self, fingerprint: str) -> NetPipeResult | None:
+        """The cached curve, or None on miss (including corrupt files).
+
+        Falls back to the flat pre-shard location and migrates a flat
+        hit into its shard (atomic rename; losing the race to a
+        concurrent writer is harmless — both files hold the identical
+        curve, content addressing guarantees it).
+        """
+        path = self.path_for(fingerprint)
+        result = self._read(path)
+        if result is None and not path.exists():
+            flat = self.flat_path_for(fingerprint)
+            result = self._read(flat)
+            if result is not None:
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(flat, path)
+                    self.migrated += 1
+                except OSError:
+                    pass  # read-only cache: keep serving from flat
+        if result is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -115,27 +150,68 @@ class SweepCache:
             return None
 
     def invalidate(self, fingerprint: str) -> bool:
-        """Drop one entry; True if it existed."""
-        try:
-            self.path_for(fingerprint).unlink()
-            return True
-        except FileNotFoundError:
-            return False
+        """Drop one entry (sharded or still-flat); True if it existed."""
+        removed = False
+        for path in (self.path_for(fingerprint),
+                     self.flat_path_for(fingerprint)):
+            try:
+                path.unlink()
+                removed = True
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def migrate_flat(self) -> int:
+        """Promote every remaining flat entry into its shard.
+
+        Returns how many entries moved.  Safe to run on a live cache:
+        renames are atomic and a concurrent reader falls back to the
+        flat path until the move lands.
+        """
+        moved = 0
+        for entry in self.root.glob("*.json"):
+            fingerprint = entry.stem
+            target = self.path_for(fingerprint)
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(entry, target)
+            except OSError:
+                continue
+            moved += 1
+        self.migrated += moved
+        return moved
+
+    def shard_counts(self) -> dict[str, int]:
+        """Entries per populated shard directory (flat entries under '').
+
+        The serving layer reports this as its disk-tier spread; a herd
+        of distinct fingerprints should fan out across shards instead
+        of piling into one directory.
+        """
+        counts: dict[str, int] = {}
+        for entry in self.root.glob("??/*.json"):
+            shard = entry.parent.name
+            counts[shard] = counts.get(shard, 0) + 1
+        flat = sum(1 for _ in self.root.glob("*.json"))
+        if flat:
+            counts[""] = flat
+        return counts
 
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry (sharded and flat); returns how many."""
         removed = 0
-        for entry in self.root.glob("??/*.json"):
-            entry.unlink()
-            removed += 1
+        for pattern in ("??/*.json", "*.json"):
+            for entry in self.root.glob(pattern):
+                entry.unlink()
+                removed += 1
         return removed
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return sum(self.shard_counts().values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<SweepCache {self.root} hits={self.hits} "
             f"misses={self.misses} corrupt={self.corrupt} "
-            f"write_errors={self.write_errors}>"
+            f"write_errors={self.write_errors} migrated={self.migrated}>"
         )

@@ -1,0 +1,19 @@
+"""Error types shared by the executor and the serving layer.
+
+:class:`SweepExecutionError` historically lived in
+:mod:`repro.exec.scheduler`; it moved here when the scheduler was split
+into a reusable core (:mod:`repro.exec.policy`,
+:mod:`repro.exec.tiers`) so every piece can raise it without importing
+the batch entry point.  The old import path keeps working — the
+scheduler re-exports it.
+"""
+
+from __future__ import annotations
+
+
+class SweepExecutionError(RuntimeError):
+    """A sweep kept failing after its whole retry budget was spent.
+
+    Also raised when ``tier="analytic"`` is demanded for a request that
+    has no engine-validated tolerance band.
+    """

@@ -1,0 +1,95 @@
+"""Environment-variable knobs shared by the executor entry points.
+
+Each ``default_*`` function reads one ``$REPRO_EXEC_*`` variable,
+validates it with a clear failure message, and falls back to the
+documented default.  They were part of :mod:`repro.exec.scheduler`
+until the scheduler split into a reusable core; they live alone now so
+:mod:`repro.exec.policy` can resolve a full :class:`~repro.exec.ExecPolicy`
+without importing the batch machinery (and everything the scheduler
+re-exports keeps its historical import path).
+"""
+
+from __future__ import annotations
+
+import os
+from math import isfinite
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_EXEC_WORKERS"
+#: Environment variable setting the default per-sweep timeout (seconds).
+TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT"
+#: Environment variable setting the default retry budget per sweep.
+RETRIES_ENV = "REPRO_EXEC_RETRIES"
+#: Environment variable setting the default execution tier.
+TIER_ENV = "REPRO_EXEC_TIER"
+
+#: The recognised execution tiers.
+VALID_TIERS = ("sim", "analytic", "auto")
+
+#: Extra attempts per sweep when neither ``retries=`` nor the env var says.
+DEFAULT_RETRIES = 2
+#: First backoff delay (seconds); doubles on every further retry.
+DEFAULT_BACKOFF = 0.05
+
+
+def _env_int(name: str, default: int, minimum: int) -> int:
+    """An integer environment override with a clear failure message."""
+    # repro: allow[det-env] executor knobs select resources (workers,
+    # deadlines), never curve content - fingerprints cannot see them.
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"${name} must be an integer >= {minimum}, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"${name} must be >= {minimum}, got {value}")
+    return value
+
+
+def default_workers() -> int:
+    """Worker count from ``$REPRO_EXEC_WORKERS``, defaulting to 1."""
+    return _env_int(WORKERS_ENV, default=1, minimum=1)
+
+
+def default_timeout() -> float | None:
+    """Per-sweep seconds from ``$REPRO_EXEC_TIMEOUT`` (None = no limit)."""
+    raw = os.environ.get(TIMEOUT_ENV, "").strip()  # repro: allow[det-env] resource knob
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"${TIMEOUT_ENV} must be a number of seconds > 0, got {raw!r}"
+        ) from None
+    if not (value > 0 and isfinite(value)):
+        raise ValueError(
+            f"${TIMEOUT_ENV} must be a number of seconds > 0, got {raw!r}"
+        )
+    return value
+
+
+def default_retries() -> int:
+    """Retry budget from ``$REPRO_EXEC_RETRIES`` (default 2, 0 = one shot)."""
+    return _env_int(RETRIES_ENV, default=DEFAULT_RETRIES, minimum=0)
+
+
+def default_tier() -> str:
+    """Execution tier from ``$REPRO_EXEC_TIER``, defaulting to ``sim``.
+
+    ``sim`` is the conservative default: the analytic tier is opt-in
+    (per call or via the env var), so existing runs — and the golden
+    curves they are checked against — keep simulating unless asked.
+    """
+    raw = os.environ.get(TIER_ENV, "").strip().lower()  # repro: allow[det-env] tier routing knob
+    if not raw:
+        return "sim"
+    if raw not in VALID_TIERS:
+        raise ValueError(
+            f"${TIER_ENV} must be one of {', '.join(VALID_TIERS)}, got {raw!r}"
+        )
+    return raw

@@ -1,0 +1,97 @@
+"""The resolved execution knobs, as one reusable value.
+
+``execute_sweeps`` grew one keyword argument per knob (workers,
+timeout, retries, backoff, tier, salt) and resolved each against its
+environment variable on every call.  A long-lived caller — the
+:mod:`repro.serve` front end answers queries for hours from one
+configuration — wants that resolution done *once*, up front, with the
+result held as a value it can pass to every batch.
+
+:class:`ExecPolicy` is that value: a frozen dataclass of fully resolved
+knobs.  :meth:`ExecPolicy.resolve` applies the same precedence the
+batch entry point always used (explicit argument > environment
+variable > default) and validates once, so an invalid ``$REPRO_EXEC_*``
+fails at service startup instead of mid-query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from math import isfinite
+
+from repro.exec.knobs import (
+    DEFAULT_BACKOFF,
+    VALID_TIERS,
+    default_retries,
+    default_tier,
+    default_timeout,
+    default_workers,
+)
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Every knob :func:`repro.exec.execute_sweeps` routes on, resolved.
+
+    :param max_workers: process count (1 = serial in-process).
+    :param timeout: seconds one sweep attempt may take (None = no limit).
+    :param retries: extra attempts per sweep after a failure/timeout.
+    :param backoff: first retry delay in seconds, doubling per retry.
+    :param tier: ``"sim"``, ``"analytic"`` or ``"auto"`` (see
+        :mod:`repro.exec.tiers`).
+    :param salt: extra fingerprint salt (study-specific invalidation).
+    """
+
+    max_workers: int = 1
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = DEFAULT_BACKOFF
+    tier: str = "sim"
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.timeout is not None and not (
+            self.timeout > 0 and isfinite(self.timeout)
+        ):
+            raise ValueError("timeout must be a positive number or None")
+        if self.tier not in VALID_TIERS:
+            raise ValueError(
+                f"tier must be one of {', '.join(VALID_TIERS)}, "
+                f"got {self.tier!r}"
+            )
+
+    @classmethod
+    def resolve(
+        cls,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+        retries: int | None = None,
+        backoff: float | None = None,
+        tier: str | None = None,
+        salt: str = "",
+    ) -> "ExecPolicy":
+        """Fill every ``None`` from its environment variable / default.
+
+        This is exactly the per-call resolution ``execute_sweeps`` has
+        always performed, packaged so a service can do it once.
+        """
+        return cls(
+            max_workers=(
+                default_workers() if max_workers is None else max_workers
+            ),
+            timeout=default_timeout() if timeout is None else timeout,
+            retries=default_retries() if retries is None else retries,
+            backoff=DEFAULT_BACKOFF if backoff is None else backoff,
+            tier=default_tier() if tier is None else tier,
+            salt=salt,
+        )
+
+    def with_tier(self, tier: str) -> "ExecPolicy":
+        """The same policy routed through a different tier."""
+        return replace(self, tier=tier)

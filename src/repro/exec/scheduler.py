@@ -8,11 +8,22 @@ regardless of completion order, optionally consulting a
 :class:`~repro.exec.cache.SweepCache` first so repeated sweeps perform
 zero simulation.
 
-``max_workers=1`` (the default) runs serially in-process, which is the
-right call for the small sweeps in the test suite; anything larger
-spins up a ``concurrent.futures`` process pool.  Parallel results are
-bit-identical to serial ones because the engine never consults the
-wall clock.
+Two entry points share one execution core:
+
+* :func:`execute_sweeps` — the historical batch call.  Each knob
+  (``max_workers``, ``timeout``, ``retries``, ``backoff``, ``tier``)
+  defaults to its ``$REPRO_EXEC_*`` environment variable
+  (:mod:`repro.exec.knobs`); with everything unset the batch runs
+  serially in-process on the sim tier, which is the right call for the
+  small sweeps in the test suite.
+* :func:`execute_with_policy` — the same core driven by a pre-resolved
+  :class:`~repro.exec.ExecPolicy`.  Long-lived callers — the
+  :mod:`repro.serve` query front end above all — resolve their policy
+  once at startup and reuse it for every request batch.
+
+Anything with ``max_workers > 1`` spins up a ``concurrent.futures``
+process pool.  Parallel results are bit-identical to serial ones
+because the engine never consults the wall clock.
 
 The executor is hardened against misbehaving workers — the transport
 lesson of the paper (and of the MPICH2/RDMA and NIC-barrier follow-on
@@ -44,16 +55,17 @@ exercising these paths lives in :mod:`repro.faults` and enters through
 the ``fault_plan=`` hook — a single ``is not None`` check when unused.
 
 Since the analytic fast tier (:mod:`repro.analytic`) landed, the
-executor also routes between **tiers**: ``tier="sim"`` (the default)
-always runs the event engine; ``tier="auto"`` answers every request
-whose (library × config) pair has an engine-validated tolerance band
-with the closed-form model — microseconds instead of milliseconds —
-and falls back to simulation for everything out of band;
-``tier="analytic"`` demands the fast path and raises
-:class:`SweepExecutionError` for any unvalidated request.  Analytic
-results are validated like simulated ones and cached under their own
-fingerprint salt (:func:`repro.analytic.analytic_cache_salt`), so the
-two tiers can never poison each other's cache entries.
+executor also routes between **tiers** (the routing itself lives in
+:mod:`repro.exec.tiers`): ``tier="sim"`` (the default) always runs the
+event engine; ``tier="auto"`` answers every request whose (library ×
+config) pair has an engine-validated tolerance band with the
+closed-form model — microseconds instead of milliseconds — and falls
+back to simulation for everything out of band; ``tier="analytic"``
+demands the fast path and raises :class:`SweepExecutionError` for any
+unvalidated request.  Analytic results are validated like simulated
+ones and cached under their own fingerprint salt
+(:func:`repro.analytic.analytic_cache_salt`), so the two tiers can
+never poison each other's cache entries.
 
 Environment knobs: ``$REPRO_EXEC_WORKERS`` (worker count),
 ``$REPRO_EXEC_TIMEOUT`` (seconds per sweep attempt),
@@ -64,7 +76,6 @@ Environment knobs: ``$REPRO_EXEC_WORKERS`` (worker count),
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -76,7 +87,23 @@ from repro.core.pingpong import measure_sweep
 from repro.core.results import NetPipePoint, NetPipeResult
 from repro.core.sizes import netpipe_sizes
 from repro.exec.cache import SweepCache
+from repro.exec.errors import SweepExecutionError
 from repro.exec.fingerprint import sweep_fingerprint
+from repro.exec.knobs import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    RETRIES_ENV,
+    TIER_ENV,
+    TIMEOUT_ENV,
+    VALID_TIERS,
+    WORKERS_ENV,
+    default_retries,
+    default_tier,
+    default_timeout,
+    default_workers,
+)
+from repro.exec.policy import ExecPolicy
+from repro.exec.tiers import plan_tiers
 from repro.hw.cluster import ClusterConfig
 from repro.mplib.base import MPLibrary
 from repro.obs.recorder import Recorder
@@ -86,87 +113,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analytic.bands import BandStore
     from repro.faults.plan import FaultPlan
 
-#: Environment variable overriding the default worker count.
-WORKERS_ENV = "REPRO_EXEC_WORKERS"
-#: Environment variable setting the default per-sweep timeout (seconds).
-TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT"
-#: Environment variable setting the default retry budget per sweep.
-RETRIES_ENV = "REPRO_EXEC_RETRIES"
-#: Environment variable setting the default execution tier.
-TIER_ENV = "REPRO_EXEC_TIER"
-
-#: The recognised execution tiers.
-VALID_TIERS = ("sim", "analytic", "auto")
-
-#: Extra attempts per sweep when neither ``retries=`` nor the env var says.
-DEFAULT_RETRIES = 2
-#: First backoff delay (seconds); doubles on every further retry.
-DEFAULT_BACKOFF = 0.05
-
-
-class SweepExecutionError(RuntimeError):
-    """A sweep kept failing after its whole retry budget was spent."""
-
-
-def _env_int(name: str, default: int, minimum: int) -> int:
-    """An integer environment override with a clear failure message."""
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"${name} must be an integer >= {minimum}, got {raw!r}"
-        ) from None
-    if value < minimum:
-        raise ValueError(f"${name} must be >= {minimum}, got {value}")
-    return value
-
-
-def default_workers() -> int:
-    """Worker count from ``$REPRO_EXEC_WORKERS``, defaulting to 1."""
-    return _env_int(WORKERS_ENV, default=1, minimum=1)
-
-
-def default_timeout() -> float | None:
-    """Per-sweep seconds from ``$REPRO_EXEC_TIMEOUT`` (None = no limit)."""
-    raw = os.environ.get(TIMEOUT_ENV, "").strip()
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"${TIMEOUT_ENV} must be a number of seconds > 0, got {raw!r}"
-        ) from None
-    if not (value > 0 and isfinite(value)):
-        raise ValueError(
-            f"${TIMEOUT_ENV} must be a number of seconds > 0, got {raw!r}"
-        )
-    return value
-
-
-def default_retries() -> int:
-    """Retry budget from ``$REPRO_EXEC_RETRIES`` (default 2, 0 = one shot)."""
-    return _env_int(RETRIES_ENV, default=DEFAULT_RETRIES, minimum=0)
-
-
-def default_tier() -> str:
-    """Execution tier from ``$REPRO_EXEC_TIER``, defaulting to ``sim``.
-
-    ``sim`` is the conservative default: the analytic tier is opt-in
-    (per call or via the env var), so existing runs — and the golden
-    curves they are checked against — keep simulating unless asked.
-    """
-    raw = os.environ.get(TIER_ENV, "").strip().lower()
-    if not raw:
-        return "sim"
-    if raw not in VALID_TIERS:
-        raise ValueError(
-            f"${TIER_ENV} must be one of {', '.join(VALID_TIERS)}, got {raw!r}"
-        )
-    return raw
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "EXEC_EVENT_CAT",
+    "ExecEvent",
+    "RETRIES_ENV",
+    "RunReport",
+    "SweepExecutionError",
+    "SweepRequest",
+    "SweepStats",
+    "TIER_ENV",
+    "TIMEOUT_ENV",
+    "VALID_TIERS",
+    "WORKERS_ENV",
+    "default_retries",
+    "default_tier",
+    "default_timeout",
+    "default_workers",
+    "execute_sweeps",
+    "execute_with_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -623,34 +590,6 @@ def _execute_pool(
     return outcomes
 
 
-def _analytic_ineligibility(
-    request: SweepRequest, bands: "BandStore"
-) -> str | None:
-    """Why this request may *not* take the analytic tier (None = it may).
-
-    Eligibility is strict: the library family must have a closed form
-    *and* the exact (library × config) pair must hold an
-    engine-validated tolerance band minted against the current model
-    code — the band fingerprint folds in the derived code salt, so any
-    timing-model edit silently revokes eligibility until the validation
-    suite re-measures.
-    """
-    from repro.analytic import supports
-
-    if not supports(request.library):
-        return (
-            f"no closed-form model for {type(request.library).__name__} "
-            f"({request.library.display_name})"
-        )
-    if bands.lookup(request.library, request.config) is None:
-        return (
-            "no engine-validated tolerance band for "
-            f"{request.library.display_name!r} on "
-            f"{request.config.describe()!r} under the current model code"
-        )
-    return None
-
-
 def execute_sweeps(
     requests: Sequence[SweepRequest],
     max_workers: int | None = None,
@@ -704,26 +643,36 @@ def execute_sweeps(
         degrades to serial execution instead), or — with
         ``tier="analytic"`` — when a request has no validated band.
     """
-    if max_workers is None:
-        max_workers = default_workers()
-    if max_workers < 1:
-        raise ValueError("max_workers must be >= 1")
-    if timeout is None:
-        timeout = default_timeout()
-    if retries is None:
-        retries = default_retries()
-    if retries < 0:
-        raise ValueError("retries must be >= 0")
-    if backoff is None:
-        backoff = DEFAULT_BACKOFF
+    policy = ExecPolicy.resolve(
+        max_workers=max_workers, timeout=timeout, retries=retries,
+        backoff=backoff, tier=tier, salt=salt,
+    )
+    return execute_with_policy(
+        requests, policy, cache=cache, fault_plan=fault_plan, trace=trace,
+        bands=bands,
+    )
+
+
+def execute_with_policy(
+    requests: Sequence[SweepRequest],
+    policy: ExecPolicy,
+    cache: SweepCache | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    trace: bool = False,
+    bands: "BandStore | None" = None,
+) -> tuple[list[NetPipeResult], RunReport]:
+    """The execution core: run one batch under a pre-resolved policy.
+
+    Same semantics as :func:`execute_sweeps` (which delegates here
+    after resolving its per-call knobs against the environment), minus
+    any environment reads for the policy knobs themselves — a service
+    resolves its :class:`~repro.exec.ExecPolicy` once and replays it
+    for every batch.  ``cache=None`` still falls back to
+    ``$REPRO_SWEEP_CACHE`` so both entry points address the same store.
+    """
+    tier = policy.tier
     if cache is None:
         cache = SweepCache.from_env()
-    if tier is None:
-        tier = default_tier()
-    if tier not in VALID_TIERS:
-        raise ValueError(
-            f"tier must be one of {', '.join(VALID_TIERS)}, got {tier!r}"
-        )
     if trace:
         if tier == "analytic":
             raise ValueError(
@@ -737,33 +686,19 @@ def execute_sweeps(
         cache = None
 
     requests = list(requests)
-    report = RunReport(workers=max_workers)
+    report = RunReport(workers=policy.max_workers)
     results: list[NetPipeResult | None] = [None] * len(requests)
     stats: list[SweepStats | None] = [None] * len(requests)
     pending: list[int] = []  # indices the cache could not answer
 
-    # Tier routing.  The sim-only path skips all of this — no band
-    # store load, no band fingerprints — so tier="sim" costs nothing.
-    tiers = ["sim"] * len(requests)
-    analytic_salt = salt
-    if tier != "sim":
-        from repro.analytic import analytic_cache_salt, default_band_store
-
-        store = bands if bands is not None else default_band_store()
-        analytic_salt = analytic_cache_salt(salt)
-        for i, request in enumerate(requests):
-            reason = _analytic_ineligibility(request, store)
-            if reason is None:
-                tiers[i] = "analytic"
-            elif tier == "analytic":
-                raise SweepExecutionError(
-                    f"sweep {request.label!r} cannot run on the analytic "
-                    f"tier: {reason}.  Use tier='auto' or 'sim' to "
-                    "simulate it; bands are minted by "
-                    "tests/test_analytic_bands.py --regen"
-                )
-            else:
-                report.obs.count("exec.tier.fallback")
+    # Tier routing (repro.exec.tiers).  The sim-only path short-circuits
+    # inside plan_tiers — no band-store load, no band fingerprints — so
+    # tier="sim" costs nothing.
+    plan = plan_tiers(
+        requests, tier, salt=policy.salt, bands=bands,
+        on_fallback=lambda _req, _why: report.obs.count("exec.tier.fallback"),
+    )
+    tiers = plan.tiers
 
     # Fingerprints are only worth computing when there is a cache to
     # address with them; the cache-less path stays zero-overhead.
@@ -771,10 +706,7 @@ def execute_sweeps(
     # tiers can never answer (or overwrite) each other's entries.
     if cache is not None:
         fingerprints = [
-            r.fingerprint(
-                salt=analytic_salt if tiers[i] == "analytic" else salt
-            )
-            for i, r in enumerate(requests)
+            plan.fingerprint(r, i) for i, r in enumerate(requests)
         ]
     else:
         fingerprints = [""] * len(requests)
@@ -840,18 +772,19 @@ def execute_sweeps(
 
     pending = [i for i in pending if tiers[i] == "sim"]
     if pending:
-        if max_workers == 1 or len(pending) == 1:
+        if policy.max_workers == 1 or len(pending) == 1:
             outcomes = {
                 i: _run_with_retries(
-                    requests[i], fault_plan, timeout, retries, backoff,
-                    report, trace=trace,
+                    requests[i], fault_plan, policy.timeout, policy.retries,
+                    policy.backoff, report, trace=trace,
                 )
                 for i in pending
             }
         else:
             outcomes = _execute_pool(
-                requests, pending, fault_plan, timeout, retries, backoff,
-                max_workers, report, trace=trace,
+                requests, pending, fault_plan, policy.timeout,
+                policy.retries, policy.backoff, policy.max_workers, report,
+                trace=trace,
             )
         for i in pending:
             result, events, elapsed, attempts, timed_out, recorder = outcomes[i]

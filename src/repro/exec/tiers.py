@@ -1,0 +1,128 @@
+"""Tier routing: which engine answers which sweep request.
+
+Extracted from :mod:`repro.exec.scheduler` so that routing is a
+reusable decision, not a side effect of the batch entry point.  The
+batch scheduler routes a whole request list at once; the serving layer
+(:mod:`repro.serve`) routes a single query up front — it needs the
+routed tier *and* the salted fingerprint before it can coalesce
+concurrent requests on the same cache entry.
+
+Routing is strict (see :func:`analytic_ineligibility`): a request may
+only take the closed-form tier when its library family has a model
+*and* the exact (library × config) pair holds an engine-validated
+tolerance band minted against the current model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exec.errors import SweepExecutionError
+from repro.exec.knobs import VALID_TIERS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analytic.bands import BandStore
+    from repro.exec.scheduler import SweepRequest
+
+
+def analytic_ineligibility(
+    request: "SweepRequest", bands: "BandStore"
+) -> str | None:
+    """Why this request may *not* take the analytic tier (None = it may).
+
+    Eligibility is strict: the library family must have a closed form
+    *and* the exact (library × config) pair must hold an
+    engine-validated tolerance band minted against the current model
+    code — the band fingerprint folds in the derived code salt, so any
+    timing-model edit silently revokes eligibility until the validation
+    suite re-measures.
+    """
+    from repro.analytic import supports
+
+    if not supports(request.library):
+        return (
+            f"no closed-form model for {type(request.library).__name__} "
+            f"({request.library.display_name})"
+        )
+    if bands.lookup(request.library, request.config) is None:
+        return (
+            "no engine-validated tolerance band for "
+            f"{request.library.display_name!r} on "
+            f"{request.config.describe()!r} under the current model code"
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class TierPlan:
+    """One routing decision per request, plus the salts that address it.
+
+    ``tiers[i]`` is ``"sim"`` or ``"analytic"`` for ``requests[i]``.
+    ``salt`` addresses sim-tier cache entries, ``analytic_salt``
+    analytic-tier ones — disjoint, so the two tiers can never answer
+    (or overwrite) each other's entries.
+    """
+
+    tiers: tuple[str, ...]
+    salt: str
+    analytic_salt: str
+
+    def fingerprint(self, request: "SweepRequest", index: int = 0) -> str:
+        """The cache fingerprint of one routed request."""
+        tier = self.tiers[index]
+        return request.fingerprint(
+            salt=self.analytic_salt if tier == "analytic" else self.salt
+        )
+
+
+def plan_tiers(
+    requests: Sequence["SweepRequest"],
+    tier: str,
+    salt: str = "",
+    bands: "BandStore | None" = None,
+    on_fallback: Callable[["SweepRequest", str], None] | None = None,
+) -> TierPlan:
+    """Route every request through the cheapest tier it is entitled to.
+
+    :param tier: the *requested* tier — ``"sim"`` routes everything to
+        the engine (and touches no band store at all), ``"auto"``
+        routes banded requests to the closed form and the rest to the
+        engine, ``"analytic"`` demands the closed form and raises
+        :class:`~repro.exec.SweepExecutionError` for any request
+        without a validated band.
+    :param on_fallback: called with ``(request, reason)`` for every
+        request ``"auto"`` demotes to simulation (the scheduler counts
+        these on its report; the serving layer counts them on its
+        stats).
+    """
+    if tier not in VALID_TIERS:
+        raise ValueError(
+            f"tier must be one of {', '.join(VALID_TIERS)}, got {tier!r}"
+        )
+    if tier == "sim":
+        return TierPlan(tiers=("sim",) * len(requests), salt=salt,
+                        analytic_salt=salt)
+
+    from repro.analytic import analytic_cache_salt, default_band_store
+
+    store = bands if bands is not None else default_band_store()
+    tiers = []
+    for request in requests:
+        reason = analytic_ineligibility(request, store)
+        if reason is None:
+            tiers.append("analytic")
+        elif tier == "analytic":
+            raise SweepExecutionError(
+                f"sweep {request.label!r} cannot run on the analytic "
+                f"tier: {reason}.  Use tier='auto' or 'sim' to "
+                "simulate it; bands are minted by "
+                "tests/test_analytic_bands.py --regen"
+            )
+        else:
+            tiers.append("sim")
+            if on_fallback is not None:
+                on_fallback(request, reason)
+    return TierPlan(
+        tiers=tuple(tiers), salt=salt, analytic_salt=analytic_cache_salt(salt)
+    )

@@ -1,0 +1,69 @@
+"""Curve serving: the repository's what-if answers as a service.
+
+The simulation answers design questions — which library, which NIC,
+which tunables — but a batch harness answers them one study at a time.
+This package turns the same execution core into a long-lived query
+service::
+
+    from repro.serve import ServeCore, ServeQuery
+
+    core = ServeCore(cache=SweepCache(tmp), hot_size=64)
+    response = await core.query(ServeQuery(library="mpich", mtu=9000))
+    response.metrics["max_mbps"], response.source   # e.g. 542.1, "computed"
+
+or, over the wire, ``python -m repro serve`` — a newline-JSON TCP
+front end (:mod:`repro.serve.frontend`) over the same core.
+
+The pieces:
+
+* :mod:`repro.serve.api` — :class:`ServeQuery` / :class:`ServeResponse`
+  and the typed errors (:class:`BadRequestError`,
+  :class:`OverloadedError`); pure data, no I/O.
+* :mod:`repro.serve.core` — :class:`ServeCore`: hot LRU → request
+  coalescing → sharded disk cache → computed, with bounded admission
+  and per-request :mod:`repro.obs` spans.
+* :mod:`repro.serve.hotcache` — the in-memory LRU tier.
+* :mod:`repro.serve.speculate` — neighbor-query precomputation.
+* :mod:`repro.serve.frontend` — the TCP line protocol.
+
+See docs/SERVING.md for the architecture and guarantees (one
+simulation per thundering herd, bit-identical answers, typed load
+shed), and docs/TESTING.md for the ``serve`` test tier.
+"""
+
+from repro.serve.api import (
+    SOURCES,
+    BadRequestError,
+    OverloadedError,
+    ServeError,
+    ServeQuery,
+    ServeResponse,
+    config_names,
+    cost_block,
+    curve_metrics,
+)
+from repro.serve.core import SERVE_SPAN_CAT, ServeCore
+from repro.serve.frontend import MAX_LINE_BYTES, ServeFrontend, handle_line
+from repro.serve.hotcache import EVICTION_LOG, HotCurveLRU
+from repro.serve.speculate import MTU_LADDER, neighbor_queries
+
+__all__ = [
+    "BadRequestError",
+    "EVICTION_LOG",
+    "HotCurveLRU",
+    "MAX_LINE_BYTES",
+    "MTU_LADDER",
+    "OverloadedError",
+    "SERVE_SPAN_CAT",
+    "SOURCES",
+    "ServeCore",
+    "ServeError",
+    "ServeFrontend",
+    "ServeQuery",
+    "ServeResponse",
+    "config_names",
+    "cost_block",
+    "curve_metrics",
+    "handle_line",
+    "neighbor_queries",
+]

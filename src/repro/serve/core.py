@@ -1,0 +1,408 @@
+"""The serving core: coalescing, tiered answering, bounded admission.
+
+:class:`ServeCore` answers :class:`~repro.serve.api.ServeQuery`
+objects from the cheapest tier that has the curve:
+
+1. **hot** — an in-memory :class:`~repro.serve.hotcache.HotCurveLRU`
+   keyed by the same salted fingerprints the disk cache is addressed
+   by: one dict lookup, no event loop yield.
+2. **coalesced** — a request whose fingerprint is already being
+   computed joins the in-flight future instead of starting another
+   simulation: a thundering herd of identical questions performs
+   exactly one sweep, and every caller receives the identical curve.
+3. **disk** — the fingerprint-sharded
+   :class:`~repro.exec.SweepCache`, consulted by the execution core.
+4. **computed** — :func:`~repro.exec.execute_with_policy` on a worker
+   thread (``asyncio.to_thread``), with the executor's full hardening:
+   retries, timeouts, pool-break degradation, result validation.
+
+Admission is bounded: at most ``max_pending`` *leaders* (requests that
+actually compute) are in flight at once; past that the core sheds load
+with a typed :class:`~repro.serve.api.OverloadedError` instead of
+queueing unboundedly.  Joining an in-flight future is always admitted
+— coalescing adds no load.
+
+After answering a cold query, the core optionally *speculates*: the
+query's neighbors (:mod:`repro.serve.speculate`) go onto a bounded
+background queue and are computed at idle priority, so the follow-up
+question ("and with jumbo frames?") is a hot hit.
+
+Everything is observable: each answer files ``serve.queue`` /
+``serve.compute`` spans and per-source counters on a
+:class:`~repro.obs.Recorder`, surfaced by :meth:`ServeCore.stats` —
+the JSON document behind ``repro serve``'s stats endpoint.
+
+The core is single-event-loop code (create it and call it from one
+loop); only the compute step leaves the loop thread, and it touches no
+core state.
+"""
+
+from __future__ import annotations
+
+# The serving layer is the one package that *is* I/O: the event loop
+# below multiplexes network clients over the pure simulation core.
+# repro: allow[pure-socket] asyncio is the serving substrate, not a
+# side channel into the simulation; sweeps still run via repro.exec.
+import asyncio
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.exec.cache import SweepCache
+from repro.exec.errors import SweepExecutionError
+from repro.exec.policy import ExecPolicy
+from repro.exec.scheduler import RunReport, execute_with_policy
+from repro.exec.tiers import plan_tiers
+from repro.obs.recorder import Recorder
+from repro.serve.api import (
+    BadRequestError,
+    OverloadedError,
+    ServeQuery,
+    ServeResponse,
+    cost_block,
+    curve_metrics,
+)
+from repro.serve.hotcache import HotCurveLRU
+from repro.serve.speculate import neighbor_queries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analytic.bands import BandStore
+    from repro.core.results import NetPipeResult
+    from repro.faults.plan import FaultPlan
+
+#: Span category the serving layer files its request spans under.
+SERVE_SPAN_CAT = "serve"
+
+
+def _wall_now() -> float:
+    """The serving layer's wall clock (queue-wait and compute spans).
+
+    The one sanctioned clock read in :mod:`repro.serve`: service
+    latency *is* wall time.  It times spans and stats only — no curve
+    content ever depends on it (the executor validates curves and the
+    coalescing tests assert bit-identity).
+    """
+    return time.monotonic()  # repro: allow[det-wallclock] service latency is wall time by definition; never flows into curve content
+
+
+class ServeCore:
+    """Answer what-if queries through the tiered, coalescing pipeline.
+
+    :param cache: disk tier; ``None`` falls back to
+        ``$REPRO_SWEEP_CACHE`` (and to no disk tier when unset).
+    :param policy: pre-resolved :class:`~repro.exec.ExecPolicy` for the
+        compute tier; ``None`` resolves one from the environment at
+        construction — never per request.
+    :param hot_size: hot-tier LRU capacity (0 disables the hot tier).
+    :param max_pending: admission limit on concurrently *computing*
+        requests; past it, :class:`~repro.serve.api.OverloadedError`.
+    :param speculate: warm neighbor queries in the background.
+    :param speculate_depth: neighbors enqueued per computed answer.
+    :param speculate_queue: background queue bound; overflow neighbors
+        are dropped (counted), never block the foreground.
+    :param fault_plan: deterministic fault injection handed to the
+        executor (chaos tests); ``None`` in production.
+    :param bands: tolerance-band store for tier routing; ``None`` loads
+        the pinned default lazily.
+    """
+
+    def __init__(
+        self,
+        cache: SweepCache | None = None,
+        policy: ExecPolicy | None = None,
+        hot_size: int = 128,
+        max_pending: int = 8,
+        speculate: bool = False,
+        speculate_depth: int = 3,
+        speculate_queue: int = 16,
+        fault_plan: "FaultPlan | None" = None,
+        bands: "BandStore | None" = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.policy = policy if policy is not None else ExecPolicy.resolve()
+        self.cache = cache if cache is not None else SweepCache.from_env()
+        self.hot = HotCurveLRU(hot_size)
+        self.max_pending = max_pending
+        self.speculate = speculate
+        self.speculate_depth = speculate_depth
+        self.obs = Recorder(meta={"domain": "serve"})
+        self._fault_plan = fault_plan
+        self._bands = bands
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._computing = 0  # leaders currently past admission
+        self._degraded = 0  # compute batches that lost their pool
+        self._spec_queue: "asyncio.Queue[ServeQuery]" = asyncio.Queue(
+            maxsize=speculate_queue
+        )
+        self._spec_task: asyncio.Task | None = None
+
+    # -- the public query path ----------------------------------------------
+    async def query(self, query: ServeQuery) -> ServeResponse:
+        """Answer one query; raises the typed serve errors on failure.
+
+        :raises BadRequestError: unknown names, invalid tunables, or a
+            per-query ``tier="analytic"`` demand without a validated
+            band.
+        :raises OverloadedError: admission limit reached (load shed).
+        :raises SweepExecutionError: the sweep itself failed after the
+            executor's whole retry budget.
+        """
+        self.obs.count("serve.requests")
+        sweep = query.resolve()
+        result, fingerprint, tier, source, timing = await self._answer(
+            query, sweep
+        )
+        crossover = None
+        if query.compare_with is not None:
+            other_query = query.companion(query.compare_with)
+            other_sweep = other_query.resolve()
+            other, _, _, _, _ = await self._answer(other_query, other_sweep)
+            crossover = self._crossover_block(query, result, other)
+        return ServeResponse(
+            query=query,
+            result=result,
+            fingerprint=fingerprint,
+            tier=tier,
+            source=source,
+            metrics=curve_metrics(result),
+            crossover=crossover,
+            cost=cost_block(sweep.config, result, query.nodes),
+            timing=timing,
+        )
+
+    @staticmethod
+    def _crossover_block(query: ServeQuery, mine: "NetPipeResult",
+                         other: "NetPipeResult") -> dict[str, Any]:
+        """Who overtakes whom, at which measured size."""
+        from repro.analysis.compare import crossover_size
+
+        return {
+            "versus": query.compare_with,
+            "overtakes_at": crossover_size(mine, other),
+            "overtaken_at": crossover_size(other, mine),
+            "versus_max_mbps": other.max_mbps,
+            "versus_latency_us": other.latency_us,
+        }
+
+    async def _answer(
+        self, query: ServeQuery, sweep: Any
+    ) -> tuple["NetPipeResult", str, str, str, dict[str, float]]:
+        """One curve through the tiers: (result, fp, tier, source, timing).
+
+        The hot probe, the in-flight probe, and leader registration all
+        happen synchronously between awaits, so concurrent tasks on the
+        one event loop can never both become leader for a fingerprint.
+        """
+        tier_wanted = query.tier if query.tier is not None else self.policy.tier
+        try:
+            plan = plan_tiers(
+                [sweep], tier_wanted, salt=self.policy.salt,
+                bands=self._bands,
+                on_fallback=lambda _r, _why: self.obs.count(
+                    "serve.tier.fallback"
+                ),
+            )
+        except (SweepExecutionError, ValueError) as exc:
+            # A routing demand that cannot be met is the *query's*
+            # problem (bad tier name, analytic without a band), not an
+            # execution failure.
+            raise BadRequestError(str(exc))
+        fingerprint = plan.fingerprint(sweep, 0)
+
+        hot = self.hot.get(fingerprint)
+        if hot is not None:
+            self.obs.count("serve.hot")
+            result, tier = hot
+            return (
+                result, fingerprint, tier, "hot",
+                {"queue_s": 0.0, "compute_s": 0.0},
+            )
+
+        inflight = self._inflight.get(fingerprint)
+        if inflight is not None:
+            self.obs.count("serve.coalesced")
+            result, tier = await inflight
+            return (
+                result, fingerprint, tier, "coalesced",
+                {"queue_s": 0.0, "compute_s": 0.0},
+            )
+
+        if self._computing >= self.max_pending:
+            self.obs.count("serve.shed")
+            raise OverloadedError(self._computing, self.max_pending)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[fingerprint] = future
+        self._computing += 1
+        t_submitted = _wall_now()
+        policy = (
+            self.policy if tier_wanted == self.policy.tier
+            else self.policy.with_tier(tier_wanted)
+        )
+        try:
+            t_started, result, report = await asyncio.to_thread(
+                self._compute, sweep, policy
+            )
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved even with no followers
+            raise
+        finally:
+            self._computing -= 1
+            del self._inflight[fingerprint]
+        t_done = _wall_now()
+
+        self._absorb(report)
+        stat = report.stats[0]
+        tier = stat.tier
+        source = "disk" if stat.cached else "computed"
+        self.obs.record(
+            "serve.queue", cat=SERVE_SPAN_CAT,
+            t0=t_submitted, t1=t_started, fingerprint=fingerprint,
+        )
+        self.obs.record(
+            "serve.compute", cat=SERVE_SPAN_CAT,
+            t0=t_started, t1=t_done, fingerprint=fingerprint,
+            tier=tier, source=source,
+        )
+        self.obs.count(f"serve.{source}")
+        self.hot.put(fingerprint, (result, tier))
+        future.set_result((result, tier))
+        if source == "computed":
+            self._enqueue_speculation(query)
+        return (
+            result, fingerprint, tier, source,
+            {"queue_s": t_started - t_submitted, "compute_s": t_done - t_started},
+        )
+
+    def _compute(self, sweep: Any, policy: ExecPolicy):
+        """The worker-thread half: run one sweep through the executor.
+
+        Touches no core state — everything it needs rides in, and the
+        report rides out to be absorbed on the loop thread.
+        """
+        t_started = _wall_now()
+        results, report = execute_with_policy(
+            [sweep], policy, cache=self.cache,
+            fault_plan=self._fault_plan, bands=self._bands,
+        )
+        return t_started, results[0], report
+
+    def _absorb(self, report: RunReport) -> None:
+        """Fold one executor report into the service-lifetime counters."""
+        self.obs.count("serve.exec.simulated", report.sweeps_simulated)
+        self.obs.count("serve.exec.analytic", report.sweeps_analytic)
+        self.obs.count("serve.exec.retries", report.retries_performed)
+        if report.degraded_to_serial:
+            self._degraded += 1
+            self.obs.count("serve.exec.degraded")
+        self.obs.merge(report.obs)
+
+    # -- speculation ---------------------------------------------------------
+    def _enqueue_speculation(self, query: ServeQuery) -> None:
+        """Queue the neighbors of a freshly computed answer (bounded)."""
+        if not self.speculate:
+            return
+        if self._spec_task is None or self._spec_task.done():
+            self._spec_task = asyncio.get_running_loop().create_task(
+                self._speculation_worker()
+            )
+        for neighbor in neighbor_queries(query, self.speculate_depth):
+            try:
+                self._spec_queue.put_nowait(neighbor)
+                self.obs.count("serve.speculate.enqueued")
+            except asyncio.QueueFull:
+                self.obs.count("serve.speculate.dropped")
+
+    async def _speculation_worker(self) -> None:
+        """Drain the speculation queue forever, at whatever-is-left
+        priority: a shed or failed neighbor is counted and forgotten —
+        speculation must never surface an error for a question nobody
+        asked."""
+        while True:
+            neighbor = await self._spec_queue.get()
+            try:
+                await self._answer(neighbor, neighbor.resolve())
+                self.obs.count("serve.speculate.warmed")
+            except OverloadedError:
+                self.obs.count("serve.speculate.shed")
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.obs.count("serve.speculate.failed")
+            finally:
+                self._spec_queue.task_done()
+
+    async def drain_speculation(self) -> None:
+        """Block until every queued neighbor has been attempted (tests)."""
+        if self._spec_task is not None and not self._spec_task.done():
+            await self._spec_queue.join()
+
+    # -- lifecycle and stats -------------------------------------------------
+    async def aclose(self) -> None:
+        """Cancel the background speculation worker, if running."""
+        if self._spec_task is not None:
+            self._spec_task.cancel()
+            try:
+                await self._spec_task
+            except asyncio.CancelledError:
+                pass
+            self._spec_task = None
+
+    def stats(self) -> dict[str, Any]:
+        """The service-lifetime counters, as one JSON-ready document."""
+        counters = self.obs.counters
+        disk: dict[str, Any] | None = None
+        if self.cache is not None:
+            disk = {
+                "root": str(self.cache.root),
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "corrupt": self.cache.corrupt,
+                "migrated": self.cache.migrated,
+                "shards": self.cache.shard_counts(),
+            }
+        return {
+            "requests": int(counters.get("serve.requests", 0)),
+            "sources": {
+                "hot": int(counters.get("serve.hot", 0)),
+                "coalesced": int(counters.get("serve.coalesced", 0)),
+                "disk": int(counters.get("serve.disk", 0)),
+                "computed": int(counters.get("serve.computed", 0)),
+            },
+            "shed": int(counters.get("serve.shed", 0)),
+            "inflight": len(self._inflight),
+            "computing": self._computing,
+            "max_pending": self.max_pending,
+            "hot": {**self.hot.snapshot(),
+                    "recent_evictions": self.hot.recent_evictions()},
+            "disk": disk,
+            "exec": {
+                "simulated": int(counters.get("serve.exec.simulated", 0)),
+                "analytic": int(counters.get("serve.exec.analytic", 0)),
+                "retries": int(counters.get("serve.exec.retries", 0)),
+                "tier_fallbacks": int(
+                    counters.get("serve.tier.fallback", 0)
+                ),
+                "degraded": self._degraded,
+            },
+            "speculation": {
+                "enabled": self.speculate,
+                "queued": self._spec_queue.qsize(),
+                "enqueued": int(
+                    counters.get("serve.speculate.enqueued", 0)
+                ),
+                "warmed": int(counters.get("serve.speculate.warmed", 0)),
+                "dropped": int(counters.get("serve.speculate.dropped", 0)),
+                "shed": int(counters.get("serve.speculate.shed", 0)),
+                "failed": int(counters.get("serve.speculate.failed", 0)),
+            },
+            "policy": {
+                "tier": self.policy.tier,
+                "max_workers": self.policy.max_workers,
+                "timeout": self.policy.timeout,
+                "retries": self.policy.retries,
+            },
+        }

@@ -1,0 +1,174 @@
+"""Newline-delimited JSON over TCP: the ``repro serve`` front end.
+
+The wire protocol is deliberately primitive — one JSON object per
+line, one JSON object back — so a client is three lines of any
+language (or ``nc`` plus a steady hand):
+
+.. code-block:: text
+
+    → {"op": "ping"}
+    ← {"ok": true, "pong": true}
+    → {"op": "query", "query": {"library": "mpich", "mtu": 9000}}
+    ← {"ok": true, "response": {"curve": {...}, "metrics": {...}, ...}}
+    → {"op": "stats"}
+    ← {"ok": true, "stats": {...}}
+
+Errors come back on the same line, typed::
+
+    ← {"ok": false, "error": {"kind": "overloaded", "pending": 8, ...}}
+
+``kind`` is one of ``bad-request`` (malformed JSON, unknown op or
+name), ``overloaded`` (load shed — back off and retry), or
+``exec-failed`` (the sweep itself exhausted its retry budget).
+
+All protocol logic lives in :func:`handle_line`, a plain async
+function from request dict to response dict — the connection handler
+is just framing around it, and the tests drive both.
+"""
+
+from __future__ import annotations
+
+# repro: allow[pure-socket] this module *is* the network front end;
+# simulation code below it never touches a socket.
+import asyncio
+import json
+from typing import Any
+
+from repro.exec.errors import SweepExecutionError
+from repro.serve.api import BadRequestError, ServeError, ServeQuery
+from repro.serve.core import ServeCore
+
+#: Hard bound on one request line; longer lines are a protocol error
+#: (and would otherwise let one client balloon server memory).
+MAX_LINE_BYTES = 1 << 20
+
+
+async def handle_line(core: ServeCore, raw: bytes | str) -> dict[str, Any]:
+    """One protocol exchange: a raw request line to a response document.
+
+    Never raises for request-level problems — every failure becomes a
+    typed ``{"ok": false, "error": {...}}`` document, because the peer
+    is a network client, not a traceback reader.
+    """
+    try:
+        try:
+            request = json.loads(raw)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRequestError(f"request is not valid JSON: {exc}")
+        if not isinstance(request, dict):
+            raise BadRequestError("request must be a JSON object")
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "stats": core.stats()}
+        if op == "query":
+            query = ServeQuery.from_jsonable(request.get("query") or {})
+            response = await core.query(query)
+            return {"ok": True, "response": response.to_jsonable()}
+        raise BadRequestError(
+            f"unknown op {op!r}; expected ping, stats, or query"
+        )
+    except ServeError as exc:
+        return {"ok": False, "error": exc.to_jsonable()}
+    except SweepExecutionError as exc:
+        return {
+            "ok": False,
+            "error": {"kind": "exec-failed", "detail": str(exc)},
+        }
+
+
+class ServeFrontend:
+    """A TCP server speaking the line protocol for one :class:`ServeCore`.
+
+    :param core: the serving core every connection shares (that sharing
+        is the whole point — coalescing and the hot tier only work
+        across clients).
+    :param host: interface to bind; loopback by default.
+    :param port: port to bind; 0 asks the kernel for an ephemeral one
+        (read the real port off :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(self, core: ServeCore, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.core = core
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); raises if the server never started."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("frontend is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled (the CLI's main loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, close the listener, stop speculation."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.core.aclose()
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One client: request lines in, response lines out, until EOF.
+
+        A line past :data:`MAX_LINE_BYTES` is answered with a
+        ``bad-request`` error and the connection dropped (the stream is
+        no longer line-synchronized past an overlong line).
+        """
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = {
+                        "ok": False,
+                        "error": {
+                            "kind": "bad-request",
+                            "detail": (
+                                f"request line exceeds "
+                                f"{MAX_LINE_BYTES} bytes"
+                            ),
+                        },
+                    }
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                    break
+                if not raw:
+                    break  # EOF: client is done
+                if not raw.strip():
+                    continue  # bare newline keepalive
+                response = await handle_line(self.core, raw)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except ConnectionError:
+            pass  # client vanished mid-write; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

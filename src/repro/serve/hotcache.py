@@ -1,0 +1,95 @@
+"""In-memory hot-curve LRU for the serving layer.
+
+The disk cache (:class:`repro.exec.SweepCache`) answers in one JSON
+parse; the hot tier answers in one dict lookup.  A bounded
+least-recently-*used* map keyed by the same salted fingerprints the
+disk tier is addressed by, with hit/miss/eviction counters the stats
+endpoint reports.
+
+Plain synchronous code: the serving core only touches it from the
+event-loop thread, so no locking is needed — and none is taken.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Iterator
+
+#: How many recently evicted keys :meth:`HotCurveLRU.snapshot` remembers
+#: (observability only; the entries themselves are gone).
+EVICTION_LOG = 64
+
+
+class HotCurveLRU:
+    """Bounded LRU map from fingerprint key to a served curve payload.
+
+    :param capacity: maximum entries held; inserting past it evicts the
+        least recently used entry.  Zero disables the hot tier (every
+        ``get`` misses, ``put`` is a no-op) without branching at the
+        call sites.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._evicted: "deque[str]" = deque(maxlen=EVICTION_LOG)
+
+    def get(self, key: str) -> Any | None:
+        """The cached payload (refreshing its recency), or None."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._evicted.append(evicted_key)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching recency or counters."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        """Keys from least to most recently used."""
+        return iter(self._entries)
+
+    def recent_evictions(self) -> list[str]:
+        """The last evicted keys, oldest first (bounded log)."""
+        return list(self._evicted)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counter snapshot for the stats endpoint."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HotCurveLRU {len(self._entries)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions}>"
+        )

@@ -1,0 +1,201 @@
+"""Serve tier: the newline-JSON wire protocol and the CLI entry point.
+
+Every test binds port 0 (kernel-assigned ephemeral port) on loopback,
+so the suite never collides with anything and never needs the network.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exec import ExecPolicy, execute_sweeps
+from repro.serve import MAX_LINE_BYTES, ServeCore, ServeFrontend, ServeQuery
+
+pytestmark = pytest.mark.serve
+
+SIZES = (1, 64, 1024)
+
+
+def _core(**kw):
+    kw.setdefault("policy", ExecPolicy(max_workers=1, backoff=0.001))
+    return ServeCore(**kw)
+
+
+async def _exchange(reader, writer, request) -> dict:
+    """One protocol round trip: send a request line, parse the answer."""
+    raw = request if isinstance(request, bytes) else (
+        json.dumps(request).encode()
+    )
+    writer.write(raw + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    assert line.endswith(b"\n")
+    return json.loads(line)
+
+
+def _with_frontend(test_body):
+    """Run ``test_body(core, reader, writer)`` against a live frontend."""
+    async def run():
+        core = _core()
+        frontend = ServeFrontend(core)
+        host, port = await frontend.start()
+        assert port != 0  # the kernel assigned a real ephemeral port
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            return await test_body(core, reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+            await frontend.aclose()
+
+    return asyncio.run(run())
+
+
+def test_ping_query_stats_over_one_connection():
+    """The three ops all answer on a single persistent connection, and
+    the served curve matches a direct executor call bit-for-bit."""
+    query = {"library": "mpich", "sizes": list(SIZES)}
+
+    async def body(core, reader, writer):
+        pong = await _exchange(reader, writer, {"op": "ping"})
+        answered = await _exchange(
+            reader, writer, {"op": "query", "query": query}
+        )
+        again = await _exchange(
+            reader, writer, {"op": "query", "query": query}
+        )
+        stats = await _exchange(reader, writer, {"op": "stats"})
+        return pong, answered, again, stats
+
+    pong, answered, again, stats = _with_frontend(body)
+    assert pong == {"ok": True, "pong": True}
+
+    assert answered["ok"] and answered["response"]["source"] == "computed"
+    direct, _ = execute_sweeps(
+        [ServeQuery(library="mpich", sizes=SIZES).resolve()]
+    )
+    served = answered["response"]["curve"]["points"]
+    assert served == [
+        {"size": p.size, "oneway_time": p.oneway_time}
+        for p in direct[0].points
+    ]
+    assert again["response"]["source"] == "hot"
+    assert again["response"]["curve"] == answered["response"]["curve"]
+
+    assert stats["ok"]
+    assert stats["stats"]["requests"] == 2
+    assert stats["stats"]["sources"]["hot"] == 1
+
+
+def test_protocol_errors_are_typed_not_disconnects():
+    """Bad JSON, non-objects, unknown ops, and bad queries all answer
+    with a typed error and leave the connection usable."""
+    async def body(core, reader, writer):
+        answers = []
+        for request in (
+            b"this is not json",
+            b'"just a string"',
+            {"op": "launch-missiles"},
+            {"op": "query", "query": {"library": "openmpi"}},
+            {"op": "query", "query": {"library": "mpich", "mtu": -5}},
+            {"op": "query"},
+        ):
+            answers.append(await _exchange(reader, writer, request))
+        # The connection survived all of the above.
+        answers.append(await _exchange(reader, writer, {"op": "ping"}))
+        return answers
+
+    *errors, pong = _with_frontend(body)
+    for answer in errors:
+        assert answer["ok"] is False
+        assert answer["error"]["kind"] == "bad-request"
+        assert answer["error"]["detail"]
+    assert pong == {"ok": True, "pong": True}
+
+
+def test_oversized_line_is_rejected():
+    """A line past MAX_LINE_BYTES gets a bad-request, then EOF."""
+    async def body(core, reader, writer):
+        padding = "x" * (MAX_LINE_BYTES + 1024)
+        writer.write(json.dumps({"op": "ping", "pad": padding}).encode()
+                     + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        answer = json.loads(line)
+        eof = await reader.readline()
+        return answer, eof
+
+    answer, eof = _with_frontend(body)
+    assert answer["ok"] is False
+    assert answer["error"]["kind"] == "bad-request"
+    assert "exceeds" in answer["error"]["detail"]
+    assert eof == b""  # the frontend dropped the desynchronized stream
+
+
+def test_concurrent_connections_share_one_core():
+    """Two clients asking the same cold question coalesce into one
+    simulation — the whole point of sharing the core across clients."""
+    query = {"op": "query", "query": {"library": "raw-tcp",
+                                      "sizes": list(SIZES)}}
+
+    async def run():
+        core = _core()
+        frontend = ServeFrontend(core)
+        host, port = await frontend.start()
+
+        async def client():
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                return await _exchange(reader, writer, query)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        answers = await asyncio.gather(*[client() for _ in range(6)])
+        stats = core.stats()
+        await frontend.aclose()
+        return answers, stats
+
+    answers, stats = asyncio.run(run())
+    assert stats["exec"]["simulated"] == 1
+    curves = {json.dumps(a["response"]["curve"], sort_keys=True)
+              for a in answers}
+    assert len(curves) == 1  # identical across clients
+    sources = sorted(a["response"]["source"] for a in answers)
+    assert sources.count("computed") == 1
+
+
+def test_cli_one_shot_query(capsys):
+    """``repro serve --query`` answers inline and exits 0."""
+    from repro.__main__ import main
+
+    query = {"library": "mpich", "sizes": list(SIZES),
+             "compare_with": "raw-tcp", "nodes": 8}
+    code = main([
+        "serve", "--query", json.dumps(query), "--stats",
+        "--no-speculate",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    # Two JSON documents: the response, then the stats.
+    decoder = json.JSONDecoder()
+    response, end = decoder.raw_decode(out)
+    stats, _ = decoder.raw_decode(out[end:].lstrip())
+    assert response["source"] == "computed"
+    assert response["metrics"]["max_mbps"] > 0
+    assert response["crossover"]["versus"] == "raw-tcp"
+    assert response["cost"]["nodes"] == 8
+    assert stats["requests"] == 1
+
+
+def test_cli_one_shot_bad_query():
+    """A malformed --query surfaces the typed error, nonzero exit."""
+    from repro.__main__ import main
+    from repro.serve import BadRequestError
+
+    with pytest.raises(BadRequestError):
+        main(["serve", "--query", json.dumps({"library": "openmpi"})])
