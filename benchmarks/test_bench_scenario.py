@@ -1,0 +1,70 @@
+"""Bench: a warm scenario-store replay beats re-simulation by >= 10x.
+
+The scenario store exists so a congested whole-cluster run — quiet
+twin included — is simulated once ever per fingerprint.  This bench
+pins that claim: replaying a 16-rank scenario with background all-
+to-all traffic from a warm :class:`ScenarioStore` must be at least an
+order of magnitude faster than the cold run that filled it, and the
+replayed document must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.scenario import (
+    ScenarioSpec,
+    ScenarioStore,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+
+#: Replay must be at least this many times faster than simulation.
+MIN_SPEEDUP = 10.0
+
+#: Warm replays to take the best of (absorbs one-off fs cache misses).
+WARM_SAMPLES = 5
+
+SPEC = ScenarioSpec(
+    name="bench-congested",
+    library="mpich",
+    config="ds20_syskonnect_jumbo",
+    nranks=16,
+    topology=TopologySpec(kind="two-tier", leaf_size=8, uplink_capacity=1),
+    workload=WorkloadSpec(ranks=(0, 15), sizes=(1024, 16384, 262144)),
+    traffic=(TrafficSpec(kind="alltoall", rate=0.3, message_bytes=65536),),
+)
+
+
+def test_warm_replay_is_10x_faster_than_cold(tmp_path):
+    store = ScenarioStore(tmp_path / "store")
+
+    t0 = time.perf_counter()
+    cold, cold_report = run_scenario(SPEC, cache=store)
+    cold_seconds = time.perf_counter() - t0
+    assert not cold_report.cached
+
+    warm_seconds = float("inf")
+    for _ in range(WARM_SAMPLES):
+        t0 = time.perf_counter()
+        warm, warm_report = run_scenario(SPEC, cache=store)
+        warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+        assert warm_report.cached
+        assert warm.to_jsonable() == cold.to_jsonable()
+
+    speedup = cold_seconds / warm_seconds
+    report(
+        "bench: scenario store replay",
+        f"cold simulate   {cold_seconds * 1e3:8.1f} ms\n"
+        f"warm replay     {warm_seconds * 1e3:8.1f} ms  (best of "
+        f"{WARM_SAMPLES})\n"
+        f"speedup         {speedup:8.1f}x  (floor {MIN_SPEEDUP:.0f}x)\n"
+        f"slowdown vs quiet: {cold.slowdown:.2f}x",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm replay only {speedup:.1f}x faster than cold simulation"
+    )

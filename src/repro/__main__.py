@@ -15,6 +15,10 @@ Commands
 ``verify``               bounded model checking of library handshakes
 ``trace``                record a Chrome/Perfetto protocol trace
 ``serve``                what-if query service (newline-JSON over TCP)
+``scenario``             declarative whole-cluster scenarios with congestion
+
+This table is audited against the registered subcommands by
+``tests/test_cli_help.py`` — add new commands in both places.
 
 ``figures``/``figure`` also accept ``--trace FILE`` to record the
 run's protocol events alongside the normal output, and — like
@@ -357,8 +361,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return verify_main(args.verify_args)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Declarative whole-cluster scenarios (repro.scenario)."""
+    from repro.scenario.cli import main as scenario_main
+
+    return scenario_main(args.scenario_args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` parser (exposed for the help audit)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of Turner & Chen, CLUSTER 2002",
@@ -531,8 +542,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--threshold", type=int, default=64 * 1024)
     p.set_defaults(func=cmd_loopback)
 
-    # ``check``/``verify`` forward everything (including --options,
-    # which argparse.REMAINDER would swallow) to their own CLIs.
+    p = sub.add_parser(
+        "scenario",
+        help="declarative whole-cluster scenarios with congestion",
+    )
+    p.add_argument(
+        "scenario_args", nargs=argparse.REMAINDER, metavar="...",
+        help="subcommands and options passed to repro.scenario.cli",
+    )
+    p.set_defaults(func=cmd_scenario)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+
+    # ``check``/``verify``/``scenario`` forward everything (including
+    # --options, which argparse.REMAINDER would swallow) to their own
+    # CLIs.
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "check":
         return cmd_check(
@@ -541,6 +570,10 @@ def main(argv: list[str] | None = None) -> int:
     if raw and raw[0] == "verify":
         return cmd_verify(
             argparse.Namespace(verify_args=raw[1:])
+        )
+    if raw and raw[0] == "scenario":
+        return cmd_scenario(
+            argparse.Namespace(scenario_args=raw[1:])
         )
 
     args = parser.parse_args(argv)

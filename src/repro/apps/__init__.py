@@ -18,7 +18,7 @@ that measurable:
 """
 
 from repro.apps.overlap import OverlapResult, run_overlap_probe
-from repro.apps.halo import HaloResult, run_halo_exchange
+from repro.apps.halo import HaloResult, halo_program, run_halo_exchange
 from repro.apps.transpose import TransposeResult, run_transpose
 from repro.apps.taskfarm import TaskFarmResult, run_task_farm
 from repro.apps.bisection import BisectionResult, run_bisection
@@ -28,6 +28,7 @@ __all__ = [
     "OverlapResult",
     "run_overlap_probe",
     "HaloResult",
+    "halo_program",
     "run_halo_exchange",
     "TransposeResult",
     "run_transpose",

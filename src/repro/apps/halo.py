@@ -54,15 +54,23 @@ class HaloResult:
         return min(1.0, self.compute_per_iteration / self.time_per_iteration)
 
 
-def run_halo_exchange(
-    library: MPLibrary,
-    config: ClusterConfig,
-    nranks: int = 4,
+def halo_program(
+    nranks: int,
     local_nx: int = 256,
     local_ny: int = 256,
     iterations: int = 5,
-) -> HaloResult:
-    """Run the stencil and report per-iteration timing."""
+    compute_scale: dict[int, float] | None = None,
+):
+    """Build the per-rank stencil program for :func:`run_ranks`.
+
+    Returns a ``program(comm)`` generator function: barrier, then
+    ``iterations`` rounds of post-faces / compute-interior / wait-faces,
+    then a closing barrier; each rank returns its elapsed time between
+    the barriers.  ``compute_scale`` optionally dilates the interior
+    compute per rank (``{rank: factor}``, default 1.0) — how
+    :mod:`repro.scenario` models external CPU load stealing stencil
+    cycles on some hosts.
+    """
     if nranks < 2:
         raise ValueError("halo exchange needs at least 2 ranks")
     if iterations < 1:
@@ -72,6 +80,7 @@ def run_halo_exchange(
     face_x = local_nx * BYTES_PER_CELL
     face_y = local_ny * BYTES_PER_CELL
     compute = local_nx * local_ny * STENCIL_FLOPS / FLOPS_PER_SECOND
+    scales = compute_scale or {}
 
     def neighbours(rank: int) -> dict[str, int]:
         ix, iy = rank % px, rank // px
@@ -85,6 +94,7 @@ def run_halo_exchange(
     def program(comm: Communicator):
         nbrs = neighbours(comm.rank)
         sizes = {"west": face_y, "east": face_y, "south": face_x, "north": face_x}
+        local_compute = compute * scales.get(comm.rank, 1.0)
         yield from comm.barrier()
         t0 = comm.engine.now
         for _ in range(iterations):
@@ -95,11 +105,27 @@ def run_halo_exchange(
                 sends.append(comm.isend(peer, sizes[direction]))
                 recvs.append(comm.irecv(peer, sizes[direction]))
             # Interior update overlaps (or not) with the face traffic.
-            yield from comm.compute(compute)
+            yield from comm.compute(local_compute)
             yield from comm.waitall(recvs)
             yield from comm.waitall(sends)
         yield from comm.barrier()
         return comm.engine.now - t0
+
+    return program
+
+
+def run_halo_exchange(
+    library: MPLibrary,
+    config: ClusterConfig,
+    nranks: int = 4,
+    local_nx: int = 256,
+    local_ny: int = 256,
+    iterations: int = 5,
+) -> HaloResult:
+    """Run the stencil and report per-iteration timing."""
+    program = halo_program(nranks, local_nx, local_ny, iterations)
+    px, py = _grid_shape(nranks)
+    compute = local_nx * local_ny * STENCIL_FLOPS / FLOPS_PER_SECOND
 
     engine = Engine()
     comms = build_world(engine, library, config, nranks)

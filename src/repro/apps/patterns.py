@@ -33,16 +33,26 @@ class Pattern(enum.Enum):
     HOTSPOT = "hotspot"
 
 
-class _Lcg:
+class Lcg:
     """Deterministic 64-bit LCG (MMIX constants): reproducible patterns
-    without the stdlib RNG."""
+    without the stdlib RNG.
+
+    Shared by the pattern generators here and the background traffic
+    generators in :mod:`repro.scenario.traffic` — same seed, same
+    stream, on every platform and ``PYTHONHASHSEED``.
+    """
 
     def __init__(self, seed: int):
         self.state = (seed ^ 0x9E3779B97F4A7C15) & (2**64 - 1)
 
     def next(self, bound: int) -> int:
+        """The next draw in ``[0, bound)``."""
         self.state = (self.state * 6364136223846793005 + 1442695040888963407) % 2**64
         return (self.state >> 33) % bound
+
+
+#: Backwards-compatible alias (the class predates its public use).
+_Lcg = Lcg
 
 
 def generate_destinations(

@@ -105,18 +105,23 @@ DEFAULT_POLICY = Policy(
         # sanctioned boundary effects (the asyncio event loop, the
         # wall clock behind latency spans) carry line-level allow
         # markers and never flow into curve content.
+        # repro.scenario composes whole-cluster runs whose results are
+        # content-addressed by spec fingerprint: the same determinism,
+        # purity and cache-safety bar as the engine underneath, or warm
+        # replays would stop being bit-identical.
         "determinism": SIM_PACKAGES + (
             "repro.exec", "repro.obs", "repro.analytic",
             "repro.faults", "repro.verify", "repro.serve",
+            "repro.scenario",
         ),
         "purity": SIM_PACKAGES + (
             "repro.obs", "repro.analytic", "repro.faults",
-            "repro.verify", "repro.serve",
+            "repro.verify", "repro.serve", "repro.scenario",
         ),
         "yield-discipline": None,  # a discarded generator is dead code anywhere
         "cache-safety": SIM_PACKAGES + (
             "repro.obs", "repro.analytic", "repro.verify",
-            "repro.serve",
+            "repro.serve", "repro.scenario",
         ),
         # The generator state machines live in repro.mplib; handshake
         # pairing and spec reachability are meaningless elsewhere.
@@ -124,7 +129,10 @@ DEFAULT_POLICY = Policy(
         # same handshake tags the endpoints block on.  repro.serve
         # relays typed errors derived from those flows, so it rides
         # along (the rules simply find nothing to pair there).
-        "protocol-flow": ("repro.mplib", "repro.faults", "repro.serve"),
+        # repro.scenario's background traffic shares the fabric the
+        # handshakes run over (and must never reuse their tags).
+        "protocol-flow": ("repro.mplib", "repro.faults", "repro.serve",
+                          "repro.scenario"),
         # Semantic model checking of the same endpoint classes.
         "verify": ("repro.mplib",),
         # SI-unit discipline over the timing models.  Analysis and

@@ -1,0 +1,161 @@
+"""``python -m repro scenario`` — run, validate, and list spec files.
+
+Three subcommands:
+
+* ``run <spec>`` — load a ``.toml``/``.json`` spec, run (or replay) it
+  through :func:`~repro.scenario.runner.run_scenario`, print the
+  result; ``--json`` emits the stored document instead, ``--cache DIR``
+  names a :class:`~repro.scenario.runner.ScenarioStore`, ``--trace
+  FILE`` writes a Chrome trace of the run via :mod:`repro.obs`.
+* ``validate <spec>...`` — parse and semantically check specs, report
+  each problem with its field path, exit 2 when any fail.
+* ``list [dir]`` — enumerate the spec files in a directory (default
+  ``examples/scenarios``) with their names and shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.scenario.runner import (
+    ScenarioExecutionError,
+    ScenarioStore,
+    run_scenario,
+)
+from repro.scenario.spec import ScenarioSpec, SpecError, load_spec
+
+#: Where ``scenario list`` looks when no directory is given.
+DEFAULT_SPEC_DIR = "examples/scenarios"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``scenario`` argument parser (exposed for the help audit)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description="Run declarative whole-cluster scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario spec file")
+    run.add_argument("spec", help="path to a .toml or .json scenario spec")
+    run.add_argument("--cache", metavar="DIR", default=None,
+                     help="scenario store directory (default: "
+                          "$REPRO_SCENARIO_CACHE if set)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry budget (default: fault windows + 2)")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="write a Chrome trace of the run (bypasses "
+                          "the store)")
+    run.add_argument("--json", action="store_true",
+                     help="print the full result document as JSON")
+
+    validate = sub.add_parser("validate",
+                              help="check spec files without running")
+    validate.add_argument("specs", nargs="+", metavar="spec",
+                          help="spec files to check")
+
+    lst = sub.add_parser("list", help="list spec files in a directory")
+    lst.add_argument("directory", nargs="?", default=DEFAULT_SPEC_DIR,
+                     help=f"directory to scan (default: {DEFAULT_SPEC_DIR})")
+    return parser
+
+
+def _describe(spec: ScenarioSpec) -> str:
+    """One list line: name, world, workload, interference."""
+    extras = []
+    if spec.traffic:
+        extras.append(f"{len(spec.traffic)} traffic generator(s)")
+    if spec.cpu is not None:
+        extras.append(f"cpu load {spec.cpu.load:.0%}")
+    if spec.faults:
+        extras.append(f"{len(spec.faults)} fault(s)")
+    suffix = f" + {', '.join(extras)}" if extras else " (quiet)"
+    return (f"{spec.name}: {spec.library}/{spec.config}, "
+            f"{spec.nranks} ranks {spec.topology.kind}, "
+            f"{spec.workload.kind}{suffix}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = (ScenarioStore(args.cache) if args.cache
+             else ScenarioStore.from_env())
+    try:
+        result, report = run_scenario(
+            spec,
+            cache=cache,
+            retries=args.retries,
+            trace=args.trace is not None,
+        )
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ScenarioExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.trace and report.trace is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, report.trace)
+    if args.json:
+        print(json.dumps(result.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        source = "store" if report.cached else (
+            f"simulated, {report.attempts} attempt(s)"
+        )
+        print(f"  [{result.fingerprint[:16]} via {source}]")
+        if args.trace:
+            print(f"  trace written to {args.trace}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failed = 0
+    for path in args.specs:
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            print(f"{path}: INVALID — {exc}")
+            failed += 1
+            continue
+        print(f"{path}: ok — {_describe(spec)}")
+    return 2 if failed else 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    paths = sorted(
+        [*directory.glob("*.toml"), *directory.glob("*.json")],
+        key=lambda p: p.name,
+    )
+    if not paths:
+        print(f"no scenario specs under {directory}")
+        return 0
+    for path in paths:
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            print(f"{path.name}: INVALID — {exc.message}")
+            continue
+        print(f"{path.name}: {_describe(spec)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro scenario ...``."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    return _cmd_list(args)

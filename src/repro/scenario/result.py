@@ -1,0 +1,199 @@
+"""Scenario outcomes: per-flow and aggregate results, JSON round-trip.
+
+A :class:`ScenarioResult` is the content the scenario store caches: the
+workload outcome (a full NetPIPE curve for ``pingpong`` workloads, the
+completion time for all kinds), one :class:`FlowResult` per background
+traffic block, and the quiet-baseline completion the slowdown metric is
+derived from.  Like sweep curves, the document round-trips through JSON
+with float times preserved exactly (``repr`` round-trip), so a warm
+replay is bit-identical to the simulation that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.io import result_from_dict, result_to_dict
+from repro.core.results import NetPipeResult
+
+#: Format tag written into every stored scenario document.
+FORMAT = "repro-scenario-result"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """One background traffic block's delivered load.
+
+    ``achieved_mbps`` is the aggregate rate the generator actually
+    injected over the run (Mb/s across all its sources) — under heavy
+    contention it lands below the offered rate, which is itself a
+    diagnostic: the fabric saturated.
+    """
+
+    name: str
+    kind: str
+    offered_rate: float
+    messages: int
+    bytes: int
+    achieved_mbps: float
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "offered_rate": self.offered_rate,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "achieved_mbps": self.achieved_mbps,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "FlowResult":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            offered_rate=float(data["offered_rate"]),
+            messages=int(data["messages"]),
+            bytes=int(data["bytes"]),
+            achieved_mbps=float(data["achieved_mbps"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced, cache- and wire-ready.
+
+    ``curve`` is the congested NetPIPE curve for ``pingpong``
+    workloads (``None`` for ``halo``/``alltoall``);
+    ``quiet_completion_time`` is the same workload's completion on the
+    quiet twin (``None`` when the scenario *is* quiet — then it is its
+    own baseline and :attr:`slowdown` is 1).
+    """
+
+    name: str
+    fingerprint: str
+    library: str
+    config: str
+    nranks: int
+    topology: str
+    workload_kind: str
+    completion_time: float
+    events_processed: int
+    curve: NetPipeResult | None = None
+    flows: tuple[FlowResult, ...] = ()
+    quiet_completion_time: float | None = None
+
+    @property
+    def background_bytes(self) -> int:
+        """Total bytes all background generators injected."""
+        return sum(flow.bytes for flow in self.flows)
+
+    @property
+    def slowdown(self) -> float:
+        """Workload completion relative to the quiet-network twin.
+
+        1.0 for quiet scenarios by definition; > 1 when congestion or
+        contention stretched the workload.
+        """
+        if self.quiet_completion_time is None:
+            return 1.0
+        return self.completion_time / self.quiet_completion_time
+
+    # -- wire form -----------------------------------------------------------
+    def to_jsonable(self) -> dict[str, Any]:
+        """The JSON document the store persists and serve answers with."""
+        out: dict[str, Any] = {
+            "format": FORMAT,
+            "version": FORMAT_VERSION,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "library": self.library,
+            "config": self.config,
+            "nranks": self.nranks,
+            "topology": self.topology,
+            "workload_kind": self.workload_kind,
+            "completion_time": self.completion_time,
+            "events_processed": self.events_processed,
+            "flows": [flow.to_jsonable() for flow in self.flows],
+        }
+        if self.curve is not None:
+            out["curve"] = result_to_dict(self.curve)
+        if self.quiet_completion_time is not None:
+            out["quiet_completion_time"] = self.quiet_completion_time
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Inverse of :meth:`to_jsonable`, with format validation."""
+        if data.get("format") != FORMAT:
+            raise ValueError(f"not a {FORMAT} document")
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported version {data.get('version')} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        quiet = data.get("quiet_completion_time")
+        return cls(
+            name=str(data["name"]),
+            fingerprint=str(data["fingerprint"]),
+            library=str(data["library"]),
+            config=str(data["config"]),
+            nranks=int(data["nranks"]),
+            topology=str(data["topology"]),
+            workload_kind=str(data["workload_kind"]),
+            completion_time=float(data["completion_time"]),
+            events_processed=int(data["events_processed"]),
+            curve=(
+                result_from_dict(data["curve"])
+                if data.get("curve") is not None
+                else None
+            ),
+            flows=tuple(
+                FlowResult.from_jsonable(flow)
+                for flow in data.get("flows", [])
+            ),
+            quiet_completion_time=(
+                float(quiet) if quiet is not None else None
+            ),
+        )
+
+    # -- human form ----------------------------------------------------------
+    def render(self) -> str:
+        """Multi-line summary for the CLI."""
+        lines = [
+            f"scenario {self.name}",
+            f"  library    {self.library}",
+            f"  config     {self.config}",
+            f"  fabric     {self.nranks} ranks, {self.topology}",
+            f"  workload   {self.workload_kind}, completed in "
+            f"{1e3 * self.completion_time:.3f} ms "
+            f"({self.events_processed} events)",
+        ]
+        if self.quiet_completion_time is not None:
+            lines.append(
+                f"  slowdown   {self.slowdown:.3f}x vs quiet baseline "
+                f"({1e3 * self.quiet_completion_time:.3f} ms)"
+            )
+        if self.curve is not None:
+            try:
+                latency = f"latency {self.curve.latency_us:.1f} us, "
+            except ValueError:
+                # latency_us needs sub-64-byte points; a custom size
+                # schedule may not include any.
+                latency = ""
+            lines.append(
+                f"  curve      {latency}"
+                f"peak {self.curve.max_mbps:.1f} Mb/s over "
+                f"{len(self.curve.points)} sizes"
+            )
+        for flow in self.flows:
+            lines.append(
+                f"  {flow.name:10s} {flow.kind}, offered "
+                f"{flow.offered_rate:.0%}/port: {flow.messages} msgs, "
+                f"{flow.bytes} B, {flow.achieved_mbps:.1f} Mb/s achieved"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,835 @@
+"""Scenario specifications: a whole cluster run phrased as data.
+
+Following the config-driven design of jsommers/fs — topology, flows and
+traffic generators specified declaratively, the harness synthesized
+from the spec — a :class:`ScenarioSpec` names everything a run needs:
+the library protocol model, the cluster hardware config, the switch
+topology, the foreground workload, background traffic generators, CPU
+contention on host ranks, and an optional fault plan.
+
+Specs load from TOML (Python 3.11+) or JSON, round-trip through
+:meth:`ScenarioSpec.to_jsonable` / :meth:`ScenarioSpec.from_jsonable`
+without loss, and validate with *path-addressed* errors: a bad rate in
+the second traffic block reports ``traffic[1].rate``, not a stack
+trace into a dataclass constructor.
+
+Every spec has a SHA-256 :meth:`~ScenarioSpec.fingerprint` folding the
+derived :func:`~repro.exec.fingerprint.code_salt` plus a scenario salt
+over the packages whose code shapes an N-rank run (fabric, cluster,
+collectives, apps, faults, scenario itself) — so scenario results are
+content-addressed and cache-safe exactly like sweep curves: any edit
+to the spec *or* to the timing code yields a cold fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+try:  # tomllib shipped with Python 3.11; 3.10 gets JSON only
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None  # type: ignore[assignment]
+
+from repro.exec.fingerprint import canonicalize, code_salt, source_digest
+
+#: Version prefix of the scenario fingerprint salt; bump only on a
+#: semantic break in the result/entry format itself.
+SCENARIO_SALT = "repro-scenario-v1"
+
+#: Sub-packages of ``repro`` whose source content shapes an N-rank
+#: scenario's timings, beyond the two-node packages already covered by
+#: :func:`~repro.exec.fingerprint.code_salt`.
+SCENARIO_SALT_PACKAGES = (
+    "fabric", "cluster", "collectives", "apps", "faults", "scenario",
+)
+
+#: The recognised generator kinds (see :mod:`repro.scenario.traffic`).
+TRAFFIC_KINDS = ("constant", "onoff", "alltoall")
+#: The recognised foreground workload kinds.
+WORKLOAD_KINDS = ("pingpong", "halo", "alltoall")
+#: Switch topology kinds (:mod:`repro.fabric.topology`).
+TOPOLOGY_KINDS = ("crossbar", "two-tier")
+#: Injectable fault kinds for the scenario path.  ``hang`` is excluded:
+#: it blocks on real time, which a deterministic scenario run never
+#: does (the exec tier keeps it for worker-timeout testing).
+FAULT_KINDS = ("raise", "corrupt", "crash")
+
+#: Fabric message tag background traffic travels under.  Every library
+#: protocol receive filters on its own tags (``rts``/``cts``/``data``),
+#: so background messages are invisible to the workload except through
+#: the port contention they cause — which is the point.
+BACKGROUND_TAG = "bg"
+
+
+def config_names() -> list[str]:
+    """The cluster-config factory names a spec may reference."""
+    from repro.experiments import configs
+
+    return sorted(
+        name
+        for name in dir(configs)
+        if not name.startswith("_")
+        and callable(getattr(configs, name))
+        and getattr(getattr(configs, name), "__module__", "")
+        == configs.__name__
+    )
+
+
+class SpecError(ValueError):
+    """A scenario spec problem, addressed by its dotted field path.
+
+    ``path`` walks from the spec root through nested blocks and list
+    indices — ``traffic[1].rate``, ``workload.ranks`` — so the message
+    points at the exact TOML/JSON field to fix.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}")
+
+
+def _reject_unknown(data: Mapping[str, Any], known: Sequence[str],
+                    path: str) -> None:
+    """Raise :class:`SpecError` for any field not in ``known``."""
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise SpecError(
+            f"{path}.{unknown[0]}" if path else unknown[0],
+            f"unknown field (known: {', '.join(known)})",
+        )
+
+
+def _get_int(data: Mapping[str, Any], name: str, default: int,
+             path: str) -> int:
+    """An integer field (bools rejected — TOML has real booleans)."""
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{path}.{name}" if path else name,
+                        f"expected an integer, got {value!r}")
+    return value
+
+
+def _get_float(data: Mapping[str, Any], name: str, default: float,
+               path: str) -> float:
+    """A float field (integers accepted and widened)."""
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{path}.{name}" if path else name,
+                        f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _get_str(data: Mapping[str, Any], name: str, default: str | None,
+             path: str) -> str | None:
+    """A string field; ``default=None`` marks it required."""
+    value = data.get(name, default)
+    if value is None:
+        raise SpecError(f"{path}.{name}" if path else name,
+                        "required field is missing")
+    if not isinstance(value, str):
+        raise SpecError(f"{path}.{name}" if path else name,
+                        f"expected a string, got {value!r}")
+    return value
+
+
+def _get_ranks(data: Mapping[str, Any], name: str,
+               path: str) -> tuple[int, ...] | None:
+    """An optional list of rank numbers, normalised to a tuple."""
+    value = data.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not value:
+        raise SpecError(f"{path}.{name}" if path else name,
+                        "expected a non-empty list of rank numbers")
+    out = []
+    for i, item in enumerate(value):
+        if isinstance(item, bool) or not isinstance(item, int) or item < 0:
+            raise SpecError(f"{path}.{name}[{i}]",
+                            f"expected a rank number >= 0, got {item!r}")
+        out.append(item)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The switch fabric: a crossbar, or a two-tier leaf/spine tree.
+
+    ``leaf_size``/``uplink_capacity``/``uplink_latency`` only matter
+    for ``kind="two-tier"`` (see
+    :class:`repro.fabric.topology.TwoTierTree`).
+    """
+
+    kind: str = "crossbar"
+    leaf_size: int = 8
+    uplink_capacity: int = 1
+    uplink_latency: float = 1e-6
+
+    def validate(self, path: str = "topology") -> None:
+        """Check this block; raises :class:`SpecError` with paths."""
+        if self.kind not in TOPOLOGY_KINDS:
+            raise SpecError(f"{path}.kind",
+                            f"expected one of {TOPOLOGY_KINDS}, "
+                            f"got {self.kind!r}")
+        if self.leaf_size < 1:
+            raise SpecError(f"{path}.leaf_size", "must be >= 1")
+        if self.uplink_capacity < 1:
+            raise SpecError(f"{path}.uplink_capacity", "must be >= 1")
+        if self.uplink_latency < 0:
+            raise SpecError(f"{path}.uplink_latency", "must be >= 0")
+
+    def build(self):
+        """The :mod:`repro.fabric.topology` object this block names,
+        or ``None`` for the default crossbar."""
+        if self.kind == "crossbar":
+            return None
+        from repro.fabric.topology import TwoTierTree
+
+        return TwoTierTree(
+            leaf_size=self.leaf_size,
+            uplink_capacity=self.uplink_capacity,
+            uplink_latency=self.uplink_latency,
+        )
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any],
+                      path: str = "topology") -> "TopologySpec":
+        """Parse one topology block, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise SpecError(path, "expected a table/object")
+        _reject_unknown(
+            data, ("kind", "leaf_size", "uplink_capacity", "uplink_latency"),
+            path,
+        )
+        return cls(
+            kind=_get_str(data, "kind", "crossbar", path),
+            leaf_size=_get_int(data, "leaf_size", 8, path),
+            uplink_capacity=_get_int(data, "uplink_capacity", 1, path),
+            uplink_latency=_get_float(data, "uplink_latency", 1e-6, path),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The wire form (crossbar extras elided)."""
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.kind == "two-tier":
+            out.update(
+                leaf_size=self.leaf_size,
+                uplink_capacity=self.uplink_capacity,
+                uplink_latency=self.uplink_latency,
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The foreground job whose performance the scenario measures.
+
+    * ``pingpong`` — a NetPIPE curve between ``ranks`` (default: rank 0
+      and the last rank) over the shared fabric; ``sizes`` (None = the
+      full NetPIPE schedule) and ``repeats`` behave as in the figures.
+    * ``halo`` — the 2-D stencil halo exchange on every rank
+      (``iterations`` sweeps on a ``cells`` x ``cells`` local grid);
+      the kind that exercises compute/communication overlap, and the
+      one CPU contention stretches.
+    * ``alltoall`` — ``iterations`` rounds of the pairwise-exchange
+      collective moving ``message_bytes`` per pair.
+    """
+
+    kind: str = "pingpong"
+    ranks: tuple[int, ...] | None = None
+    sizes: tuple[int, ...] | None = None
+    repeats: int = 1
+    iterations: int = 5
+    cells: int = 64
+    message_bytes: int = 65536
+
+    def validate(self, nranks: int, path: str = "workload") -> None:
+        """Check this block against the world size."""
+        if self.kind not in WORKLOAD_KINDS:
+            raise SpecError(f"{path}.kind",
+                            f"expected one of {WORKLOAD_KINDS}, "
+                            f"got {self.kind!r}")
+        if self.ranks is not None:
+            for i, rank in enumerate(self.ranks):
+                if not 0 <= rank < nranks:
+                    raise SpecError(f"{path}.ranks[{i}]",
+                                    f"rank {rank} out of range for "
+                                    f"nranks={nranks}")
+            if len(set(self.ranks)) != len(self.ranks):
+                raise SpecError(f"{path}.ranks", "ranks must be distinct")
+        if self.kind == "pingpong":
+            if self.ranks is not None and len(self.ranks) != 2:
+                raise SpecError(f"{path}.ranks",
+                                "pingpong needs exactly two ranks")
+        if self.sizes is not None:
+            for i, size in enumerate(self.sizes):
+                if size < 1:
+                    raise SpecError(f"{path}.sizes[{i}]",
+                                    f"message size must be >= 1, got {size}")
+        if self.repeats < 1:
+            raise SpecError(f"{path}.repeats", "must be >= 1")
+        if self.iterations < 1:
+            raise SpecError(f"{path}.iterations", "must be >= 1")
+        if self.cells < 1:
+            raise SpecError(f"{path}.cells", "must be >= 1")
+        if self.message_bytes < 1:
+            raise SpecError(f"{path}.message_bytes", "must be >= 1")
+
+    def pair(self, nranks: int) -> tuple[int, int]:
+        """The (a, b) ping-pong ranks (defaults to the diameter pair)."""
+        if self.ranks is not None:
+            return self.ranks[0], self.ranks[1]
+        return 0, nranks - 1
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any],
+                      path: str = "workload") -> "WorkloadSpec":
+        """Parse one workload block, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise SpecError(path, "expected a table/object")
+        _reject_unknown(
+            data,
+            ("kind", "ranks", "sizes", "repeats", "iterations", "cells",
+             "message_bytes"),
+            path,
+        )
+        sizes = data.get("sizes")
+        if sizes is not None:
+            if not isinstance(sizes, (list, tuple)) or not sizes:
+                raise SpecError(f"{path}.sizes",
+                                "expected a non-empty list of sizes")
+            parsed = []
+            for i, size in enumerate(sizes):
+                if isinstance(size, bool) or not isinstance(size, int):
+                    raise SpecError(f"{path}.sizes[{i}]",
+                                    f"expected an integer, got {size!r}")
+                parsed.append(size)
+            sizes = tuple(parsed)
+        return cls(
+            kind=_get_str(data, "kind", "pingpong", path),
+            ranks=_get_ranks(data, "ranks", path),
+            sizes=sizes,
+            repeats=_get_int(data, "repeats", 1, path),
+            iterations=_get_int(data, "iterations", 5, path),
+            cells=_get_int(data, "cells", 64, path),
+            message_bytes=_get_int(data, "message_bytes", 65536, path),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The wire form (defaults elided)."""
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.ranks is not None:
+            out["ranks"] = list(self.ranks)
+        if self.sizes is not None:
+            out["sizes"] = list(self.sizes)
+        if self.repeats != 1:
+            out["repeats"] = self.repeats
+        if self.kind == "halo":
+            out["iterations"] = self.iterations
+            out["cells"] = self.cells
+        if self.kind == "alltoall":
+            out["iterations"] = self.iterations
+            out["message_bytes"] = self.message_bytes
+        return out
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One background traffic generator (see
+    :mod:`repro.scenario.traffic`).
+
+    ``rate`` is the fraction of each participating rank's TX port
+    bandwidth the generator offers, in ``(0, 1]``; ``ranks`` limits
+    the participating sources (default: every rank).  ``on_seconds`` /
+    ``off_seconds`` shape the ``onoff`` burst cycle.
+    """
+
+    kind: str = "constant"
+    rate: float = 0.1
+    message_bytes: int = 65536
+    ranks: tuple[int, ...] | None = None
+    on_seconds: float = 0.002
+    off_seconds: float = 0.002
+
+    def validate(self, nranks: int, path: str = "traffic") -> None:
+        """Check this block against the world size."""
+        if self.kind not in TRAFFIC_KINDS:
+            raise SpecError(f"{path}.kind",
+                            f"expected one of {TRAFFIC_KINDS}, "
+                            f"got {self.kind!r}")
+        if not 0.0 < self.rate <= 1.0:
+            raise SpecError(f"{path}.rate",
+                            f"must be in (0, 1], got {self.rate!r}")
+        if self.message_bytes < 1:
+            raise SpecError(f"{path}.message_bytes", "must be >= 1")
+        if self.ranks is not None:
+            for i, rank in enumerate(self.ranks):
+                if not 0 <= rank < nranks:
+                    raise SpecError(f"{path}.ranks[{i}]",
+                                    f"rank {rank} out of range for "
+                                    f"nranks={nranks}")
+            if len(set(self.ranks)) != len(self.ranks):
+                raise SpecError(f"{path}.ranks", "ranks must be distinct")
+        participants = (
+            len(self.ranks) if self.ranks is not None else nranks
+        )
+        if self.kind == "alltoall" and participants < 2:
+            raise SpecError(f"{path}.ranks",
+                            "alltoall traffic needs at least 2 "
+                            "participating ranks")
+        if self.kind == "onoff":
+            if self.on_seconds <= 0:
+                raise SpecError(f"{path}.on_seconds", "must be > 0")
+            if self.off_seconds <= 0:
+                raise SpecError(f"{path}.off_seconds", "must be > 0")
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any],
+                      path: str = "traffic") -> "TrafficSpec":
+        """Parse one traffic block, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise SpecError(path, "expected a table/object")
+        _reject_unknown(
+            data,
+            ("kind", "rate", "message_bytes", "ranks", "on_seconds",
+             "off_seconds"),
+            path,
+        )
+        return cls(
+            kind=_get_str(data, "kind", "constant", path),
+            rate=_get_float(data, "rate", 0.1, path),
+            message_bytes=_get_int(data, "message_bytes", 65536, path),
+            ranks=_get_ranks(data, "ranks", path),
+            on_seconds=_get_float(data, "on_seconds", 0.002, path),
+            off_seconds=_get_float(data, "off_seconds", 0.002, path),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The wire form (defaults elided)."""
+        out: dict[str, Any] = {"kind": self.kind, "rate": self.rate}
+        if self.message_bytes != 65536:
+            out["message_bytes"] = self.message_bytes
+        if self.ranks is not None:
+            out["ranks"] = list(self.ranks)
+        if self.kind == "onoff":
+            out["on_seconds"] = self.on_seconds
+            out["off_seconds"] = self.off_seconds
+        return out
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Background CPU contention on host ranks.
+
+    A co-scheduled hog steals ``load`` of each affected rank's CPU, so
+    application compute phases stretch by ``1 / (1 - load)`` — the
+    classic time-shared-cluster tax.  It only bites workloads that
+    *have* compute phases (``halo``); pure communication is bounded by
+    the wire, not the hog.
+    """
+
+    load: float = 0.5
+    ranks: tuple[int, ...] | None = None
+
+    def validate(self, nranks: int, path: str = "cpu") -> None:
+        """Check this block against the world size."""
+        if not 0.0 < self.load < 1.0:
+            raise SpecError(f"{path}.load",
+                            f"must be in (0, 1), got {self.load!r}")
+        if self.ranks is not None:
+            for i, rank in enumerate(self.ranks):
+                if not 0 <= rank < nranks:
+                    raise SpecError(f"{path}.ranks[{i}]",
+                                    f"rank {rank} out of range for "
+                                    f"nranks={nranks}")
+
+    def dilation(self) -> float:
+        """The compute-stretch factor ``1 / (1 - load)``."""
+        return 1.0 / (1.0 - self.load)
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any],
+                      path: str = "cpu") -> "CpuSpec":
+        """Parse one cpu block, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise SpecError(path, "expected a table/object")
+        _reject_unknown(data, ("load", "ranks"), path)
+        return cls(
+            load=_get_float(data, "load", 0.5, path),
+            ranks=_get_ranks(data, "ranks", path),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The wire form."""
+        out: dict[str, Any] = {"load": self.load}
+        if self.ranks is not None:
+            out["ranks"] = list(self.ranks)
+        return out
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One injected failure window on the scenario's execution path.
+
+    Maps onto a :class:`repro.faults.plan.FaultSpec` keyed by the
+    scenario name: ``kind`` fails the first ``times`` attempts, after
+    which the run comes back clean — the chaos tests assert the
+    recovered result is bit-identical to a fault-free run.
+    """
+
+    kind: str = "raise"
+    times: int = 1
+
+    def validate(self, path: str = "faults") -> None:
+        """Check this entry."""
+        if self.kind not in FAULT_KINDS:
+            raise SpecError(f"{path}.kind",
+                            f"expected one of {FAULT_KINDS}, "
+                            f"got {self.kind!r}")
+        if self.times < 1:
+            raise SpecError(f"{path}.times", "must be >= 1")
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any],
+                      path: str = "faults") -> "FaultEntry":
+        """Parse one fault entry, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise SpecError(path, "expected a table/object")
+        _reject_unknown(data, ("kind", "times"), path)
+        return cls(
+            kind=_get_str(data, "kind", "raise", path),
+            times=_get_int(data, "times", 1, path),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The wire form."""
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.times != 1:
+            out["times"] = self.times
+        return out
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fingerprintable whole-cluster scenario.
+
+    The composition root: library x config x topology x workload x
+    background traffic x CPU contention x faults, all as plain data.
+    ``seed`` drives every deterministic pseudo-random choice the
+    traffic generators make.
+    """
+
+    name: str
+    library: str
+    config: str = "pc_netgear_ga620"
+    description: str = ""
+    nranks: int = 2
+    mtu: int | None = None
+    tuned: bool | None = None
+    seed: int = 1
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    traffic: tuple[TrafficSpec, ...] = ()
+    cpu: CpuSpec | None = None
+    faults: tuple[FaultEntry, ...] = ()
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> None:
+        """Full semantic validation; raises :class:`SpecError`.
+
+        Field-shape problems are caught by :meth:`from_jsonable`; this
+        checks cross-field semantics (rank ranges, known library and
+        config names) so directly-constructed specs get the same
+        guarantees as loaded ones.
+        """
+        if not self.name:
+            raise SpecError("name", "required field is missing or empty")
+        if self.nranks < 2:
+            raise SpecError("nranks", f"must be >= 2, got {self.nranks}")
+        if self.seed < 0:
+            raise SpecError("seed", "must be >= 0")
+        from repro.mplib.registry import REGISTRY, VARIANTS
+
+        if self.library not in REGISTRY and self.library not in VARIANTS:
+            known = ", ".join(sorted([*REGISTRY, *VARIANTS]))
+            raise SpecError("library",
+                            f"unknown library {self.library!r}; "
+                            f"known: {known}")
+        names = config_names()
+        if self.config not in names:
+            raise SpecError("config",
+                            f"unknown config {self.config!r}; known: "
+                            f"{', '.join(names)}")
+        self.topology.validate("topology")
+        self.workload.validate(self.nranks, "workload")
+        for i, entry in enumerate(self.traffic):
+            entry.validate(self.nranks, f"traffic[{i}]")
+        if self.cpu is not None:
+            self.cpu.validate(self.nranks, "cpu")
+        for i, entry in enumerate(self.faults):
+            entry.validate(f"faults[{i}]")
+
+    # -- derived views -------------------------------------------------------
+    def is_quiet(self) -> bool:
+        """True when nothing competes with the workload at runtime (no
+        background traffic, no CPU hog).
+
+        Faults are deliberately *not* part of quietness: they live on
+        the execution harness (failed attempts, retries), never inside
+        the engine run, so a faulted spec still follows the same
+        simulation path as its clean twin — which is what lets the
+        chaos tests assert bit-identical recovery.
+        """
+        return not self.traffic and self.cpu is None
+
+    def quiet(self) -> "ScenarioSpec":
+        """The quiet-network twin: same workload, zero interference.
+
+        This is the baseline the slowdown metric is measured against;
+        it shares the fingerprint of the identical spec a user would
+        write by hand, so the baseline is computed (and cached) once.
+        """
+        return dataclasses.replace(self, traffic=(), cpu=None, faults=())
+
+    def is_two_node_baseline(self) -> bool:
+        """True when this degenerates to the figures' two-node path.
+
+        A quiet 2-rank crossbar ping-pong is *exactly* the two-node
+        measurement the paper's figures run, so the composer routes it
+        through the identical ``library.build`` + ``measure_sweep``
+        code path — making the curve bit-identical to
+        :func:`repro.exec.execute_sweeps` for the same request.
+        """
+        return (
+            self.is_quiet()
+            and self.nranks == 2
+            and self.topology.kind == "crossbar"
+            and self.workload.kind == "pingpong"
+            and self.workload.pair(self.nranks) == (0, 1)
+        )
+
+    # -- fingerprints --------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Hex digest identifying this scenario's full input state.
+
+        Folds :func:`~repro.exec.fingerprint.code_salt` (the two-node
+        timing packages) and :func:`scenario_salt` (the N-rank
+        packages), then the canonical form of every field — so any
+        spec edit, and any edit to the code that shapes the run,
+        produces a cold fingerprint.
+        """
+        payload = "|".join(
+            (code_salt(), scenario_salt(), canonicalize(self))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- wire form -----------------------------------------------------------
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any],
+                      path: str = "") -> "ScenarioSpec":
+        """Parse the TOML/JSON shape, rejecting unknown fields.
+
+        Shape errors carry the offending field path.  Semantic
+        validation (:meth:`validate`) runs too, so a parsed spec is
+        always runnable.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError(path or "spec", "expected a table/object")
+        _reject_unknown(
+            data,
+            ("name", "library", "config", "description", "nranks", "mtu",
+             "tuned", "seed", "topology", "workload", "traffic", "cpu",
+             "faults"),
+            path,
+        )
+        mtu = data.get("mtu")
+        if mtu is not None and (isinstance(mtu, bool)
+                                or not isinstance(mtu, int)):
+            raise SpecError("mtu", f"expected an integer, got {mtu!r}")
+        tuned = data.get("tuned")
+        if tuned is not None and not isinstance(tuned, bool):
+            raise SpecError("tuned", f"expected a boolean, got {tuned!r}")
+        traffic_data = data.get("traffic", [])
+        if not isinstance(traffic_data, (list, tuple)):
+            raise SpecError("traffic", "expected an array of tables")
+        faults_data = data.get("faults", [])
+        if not isinstance(faults_data, (list, tuple)):
+            raise SpecError("faults", "expected an array of tables")
+        spec = cls(
+            name=_get_str(data, "name", None, path) or "",
+            library=_get_str(data, "library", None, path) or "",
+            config=_get_str(data, "config", "pc_netgear_ga620", path) or "",
+            description=_get_str(data, "description", "", path) or "",
+            nranks=_get_int(data, "nranks", 2, path),
+            mtu=mtu,
+            tuned=tuned,
+            seed=_get_int(data, "seed", 1, path),
+            topology=TopologySpec.from_jsonable(
+                data.get("topology", {}), "topology"
+            ),
+            workload=WorkloadSpec.from_jsonable(
+                data.get("workload", {}), "workload"
+            ),
+            traffic=tuple(
+                TrafficSpec.from_jsonable(entry, f"traffic[{i}]")
+                for i, entry in enumerate(traffic_data)
+            ),
+            cpu=(
+                CpuSpec.from_jsonable(data["cpu"], "cpu")
+                if data.get("cpu") is not None
+                else None
+            ),
+            faults=tuple(
+                FaultEntry.from_jsonable(entry, f"faults[{i}]")
+                for i, entry in enumerate(faults_data)
+            ),
+        )
+        spec.validate()
+        return spec
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The wire form (defaults elided); round-trips losslessly."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "library": self.library,
+            "config": self.config,
+        }
+        if self.description:
+            out["description"] = self.description
+        if self.nranks != 2:
+            out["nranks"] = self.nranks
+        if self.mtu is not None:
+            out["mtu"] = self.mtu
+        if self.tuned is not None:
+            out["tuned"] = self.tuned
+        if self.seed != 1:
+            out["seed"] = self.seed
+        if self.topology != TopologySpec():
+            out["topology"] = self.topology.to_jsonable()
+        if self.workload != WorkloadSpec():
+            out["workload"] = self.workload.to_jsonable()
+        if self.traffic:
+            out["traffic"] = [t.to_jsonable() for t in self.traffic]
+        if self.cpu is not None:
+            out["cpu"] = self.cpu.to_jsonable()
+        if self.faults:
+            out["faults"] = [f.to_jsonable() for f in self.faults]
+        return out
+
+
+@functools.lru_cache(maxsize=None)
+def scenario_salt() -> str:
+    """The derived N-rank code salt folded into scenario fingerprints.
+
+    ``<SCENARIO_SALT>+<first 16 hex of the source digest>`` over
+    :data:`SCENARIO_SALT_PACKAGES`, or the plain prefix when sources
+    are unavailable (frozen installs).  Cached for the process
+    lifetime, like :func:`~repro.exec.fingerprint.code_salt`.
+    """
+    digest = source_digest(packages=SCENARIO_SALT_PACKAGES)
+    return f"{SCENARIO_SALT}+{digest[:16]}" if digest else SCENARIO_SALT
+
+
+# -- loading and dumping -----------------------------------------------------
+def parse_spec(text: str, fmt: str = "json",
+               source: str = "<string>") -> ScenarioSpec:
+    """Parse spec ``text`` in ``fmt`` (``"json"`` or ``"toml"``).
+
+    Syntax errors surface as :class:`SpecError` with the source name
+    as the path, so CLI and service callers get one error type.
+    """
+    if fmt == "toml":
+        if tomllib is None:  # pragma: no cover - py3.10 only
+            raise SpecError(
+                source,
+                "TOML specs need Python 3.11+ (tomllib); "
+                "convert the spec to JSON or upgrade",
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(source, f"TOML syntax error: {exc}")
+    elif fmt == "json":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(source, f"JSON syntax error: {exc}")
+    else:
+        raise SpecError(source, f"unknown spec format {fmt!r}; "
+                                "expected 'toml' or 'json'")
+    return ScenarioSpec.from_jsonable(data)
+
+
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Load a ``.toml`` or ``.json`` scenario spec file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise SpecError(str(path),
+                        f"unknown spec extension {suffix!r}; "
+                        "expected .toml or .json")
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecError(str(path), f"cannot read spec file: {exc}")
+    return parse_spec(text, fmt=suffix[1:], source=str(path))
+
+
+def _toml_scalar(value: Any) -> str:
+    """One TOML literal (strings escaped, floats kept exact)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        # repr(2.0) == '2.0' and repr(1e-06) == '1e-06' are both valid
+        # TOML floats already; nothing else escapes a validated spec.
+        return text
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise TypeError(f"cannot emit {value!r} as TOML")
+
+
+def spec_to_toml(spec: ScenarioSpec) -> str:
+    """Serialize a spec as TOML text (inverse of the TOML loader).
+
+    Only emits the shapes :meth:`ScenarioSpec.to_jsonable` produces —
+    scalars, arrays of integers, sub-tables, and arrays of tables —
+    which is the entire spec schema.  The round-trip property
+    (``parse_spec(spec_to_toml(s), "toml")`` equals ``s`` and shares
+    its fingerprint) is asserted by the hypothesis tier.
+    """
+    data = spec.to_jsonable()
+    lines: list[str] = []
+    tables: list[tuple[str, Mapping[str, Any]]] = []
+    arrays: list[tuple[str, Sequence[Mapping[str, Any]]]] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        elif (isinstance(value, list) and value
+              and isinstance(value[0], Mapping)):
+            arrays.append((key, value))
+        else:
+            lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, table in tables:
+        lines.append("")
+        lines.append(f"[{key}]")
+        for k, v in table.items():
+            lines.append(f"{k} = {_toml_scalar(v)}")
+    for key, entries in arrays:
+        for entry in entries:
+            lines.append("")
+            lines.append(f"[[{key}]]")
+            for k, v in entry.items():
+                lines.append(f"{k} = {_toml_scalar(v)}")
+    return "\n".join(lines) + "\n"

@@ -264,9 +264,17 @@ class ServeQuery:
 
 
 def curve_metrics(result: NetPipeResult) -> dict[str, Any]:
-    """The headline numbers clients would otherwise derive themselves."""
+    """The headline numbers clients would otherwise derive themselves.
+
+    ``latency_us`` needs a sub-64-byte point; a custom ``sizes``
+    schedule without one gets ``null`` there, not a dropped connection.
+    """
+    try:
+        latency_us = result.latency_us
+    except ValueError:
+        latency_us = None
     return {
-        "latency_us": result.latency_us,
+        "latency_us": latency_us,
         "max_mbps": result.max_mbps,
         "plateau_mbps": result.plateau_mbps,
         "half_bandwidth_size": result.half_bandwidth_size(),

@@ -68,6 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analytic.bands import BandStore
     from repro.core.results import NetPipeResult
     from repro.faults.plan import FaultPlan
+    from repro.scenario.runner import ScenarioStore
 
 #: Span category the serving layer files its request spans under.
 SERVE_SPAN_CAT = "serve"
@@ -116,11 +117,20 @@ class ServeCore:
         speculate_queue: int = 16,
         fault_plan: "FaultPlan | None" = None,
         bands: "BandStore | None" = None,
+        scenario_cache: "ScenarioStore | None" = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.policy = policy if policy is not None else ExecPolicy.resolve()
         self.cache = cache if cache is not None else SweepCache.from_env()
+        if scenario_cache is not None:
+            self.scenario_store = scenario_cache
+        else:
+            from repro.scenario.runner import ScenarioStore
+
+            self.scenario_store = ScenarioStore.from_env()
+        self.scenario_hot = HotCurveLRU(hot_size)
+        self._scenario_inflight: dict[str, asyncio.Future] = {}
         self.hot = HotCurveLRU(hot_size)
         self.max_pending = max_pending
         self.speculate = speculate
@@ -276,6 +286,84 @@ class ServeCore:
             {"queue_s": t_started - t_submitted, "compute_s": t_done - t_started},
         )
 
+    # -- the scenario path ---------------------------------------------------
+    async def scenario(self, spec_data: Any) -> dict[str, Any]:
+        """Answer one declarative-scenario question (the ``scenario`` op).
+
+        ``spec_data`` is the JSON shape of a
+        :class:`~repro.scenario.spec.ScenarioSpec`.  The same tiering
+        discipline as curves: a hot LRU keyed by the scenario
+        fingerprint, in-flight coalescing, bounded admission shared
+        with the query path, then
+        :func:`~repro.scenario.runner.run_scenario` on a worker thread
+        (which itself consults the on-disk scenario store).
+
+        :raises BadRequestError: the spec fails validation (the detail
+            carries the offending field path).
+        :raises OverloadedError: admission limit reached (load shed).
+        :raises ScenarioExecutionError: the scenario exhausted its
+            retry budget.
+        """
+        from repro.scenario.spec import ScenarioSpec, SpecError
+
+        self.obs.count("serve.scenario.requests")
+        try:
+            spec = ScenarioSpec.from_jsonable(spec_data)
+        except SpecError as exc:
+            raise BadRequestError(str(exc))
+        fingerprint = spec.fingerprint()
+
+        hot = self.scenario_hot.get(fingerprint)
+        if hot is not None:
+            self.obs.count("serve.scenario.hot")
+            return {**hot, "source": "hot"}
+
+        inflight = self._scenario_inflight.get(fingerprint)
+        if inflight is not None:
+            self.obs.count("serve.scenario.coalesced")
+            document = await inflight
+            return {**document, "source": "coalesced"}
+
+        if self._computing >= self.max_pending:
+            self.obs.count("serve.shed")
+            raise OverloadedError(self._computing, self.max_pending)
+
+        from repro.scenario.runner import run_scenario
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._scenario_inflight[fingerprint] = future
+        self._computing += 1
+        t_submitted = _wall_now()
+        try:
+            result, report = await asyncio.to_thread(
+                run_scenario, spec, self.scenario_store
+            )
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved even with no followers
+            raise
+        finally:
+            self._computing -= 1
+            del self._scenario_inflight[fingerprint]
+        t_done = _wall_now()
+
+        source = "store" if report.cached else "computed"
+        document = {
+            "scenario": result.to_jsonable(),
+            "fingerprint": fingerprint,
+            "attempts": report.attempts,
+        }
+        self.obs.record(
+            "serve.scenario.compute", cat=SERVE_SPAN_CAT,
+            t0=t_submitted, t1=t_done, fingerprint=fingerprint,
+            source=source,
+        )
+        self.obs.count(f"serve.scenario.{source}")
+        self.scenario_hot.put(fingerprint, document)
+        future.set_result(document)
+        return {**document, "source": source}
+
     def _compute(self, sweep: Any, policy: ExecPolicy):
         """The worker-thread half: run one sweep through the executor.
 
@@ -387,6 +475,23 @@ class ServeCore:
                     counters.get("serve.tier.fallback", 0)
                 ),
                 "degraded": self._degraded,
+            },
+            "scenario": {
+                "requests": int(
+                    counters.get("serve.scenario.requests", 0)
+                ),
+                "hot": int(counters.get("serve.scenario.hot", 0)),
+                "coalesced": int(
+                    counters.get("serve.scenario.coalesced", 0)
+                ),
+                "store": int(counters.get("serve.scenario.store", 0)),
+                "computed": int(
+                    counters.get("serve.scenario.computed", 0)
+                ),
+                "store_root": (
+                    str(self.scenario_store.root)
+                    if self.scenario_store is not None else None
+                ),
             },
             "speculation": {
                 "enabled": self.speculate,

@@ -12,6 +12,8 @@ language (or ``nc`` plus a steady hand):
     ← {"ok": true, "response": {"curve": {...}, "metrics": {...}, ...}}
     → {"op": "stats"}
     ← {"ok": true, "stats": {...}}
+    → {"op": "scenario", "spec": {"name": "bg", "library": "mpich", ...}}
+    ← {"ok": true, "scenario": {...}, "fingerprint": "...", "source": "computed"}
 
 Errors come back on the same line, typed::
 
@@ -35,6 +37,7 @@ import json
 from typing import Any
 
 from repro.exec.errors import SweepExecutionError
+from repro.scenario.runner import ScenarioExecutionError
 from repro.serve.api import BadRequestError, ServeError, ServeQuery
 from repro.serve.core import ServeCore
 
@@ -66,12 +69,15 @@ async def handle_line(core: ServeCore, raw: bytes | str) -> dict[str, Any]:
             query = ServeQuery.from_jsonable(request.get("query") or {})
             response = await core.query(query)
             return {"ok": True, "response": response.to_jsonable()}
+        if op == "scenario":
+            document = await core.scenario(request.get("spec") or {})
+            return {"ok": True, **document}
         raise BadRequestError(
-            f"unknown op {op!r}; expected ping, stats, or query"
+            f"unknown op {op!r}; expected ping, stats, query, or scenario"
         )
     except ServeError as exc:
         return {"ok": False, "error": exc.to_jsonable()}
-    except SweepExecutionError as exc:
+    except (SweepExecutionError, ScenarioExecutionError) as exc:
         return {
             "ok": False,
             "error": {"kind": "exec-failed", "detail": str(exc)},

@@ -1,0 +1,136 @@
+"""Chaos tier for scenarios: spec-declared faults recover bit-identically.
+
+A scenario spec can declare its own fault windows (``[[faults]]``), and
+the runner must survive them the same way the sweep executor survives
+:mod:`repro.faults` plans: retry until a clean attempt, validate the
+result, and land on the *exact* outcome the clean twin produces —
+faults live on the harness, never inside the engine.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.scenario import (
+    FaultEntry,
+    ScenarioExecutionError,
+    ScenarioSpec,
+    ScenarioStore,
+    TrafficSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+
+pytestmark = [pytest.mark.scenario, pytest.mark.faults]
+
+SIZES = (64, 1024, 16384)
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="chaos", library="mpich", config="pc_netgear_ga620",
+        workload=WorkloadSpec(sizes=SIZES),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def _clean_twin(spec: ScenarioSpec) -> ScenarioSpec:
+    return dataclasses.replace(spec, faults=())
+
+
+def _points(result):
+    return [(p.size, p.oneway_time) for p in result.curve.points]
+
+
+def test_raise_faults_recover_bit_identically():
+    spec = _spec(faults=(FaultEntry(kind="raise", times=2),))
+    clean, clean_report = run_scenario(_clean_twin(spec))
+    faulty, report = run_scenario(spec)
+
+    assert clean_report.attempts == 1
+    assert report.attempts == 3  # two injected raises, then success
+    assert faulty.completion_time == clean.completion_time
+    assert _points(faulty) == _points(clean)
+
+
+def test_corrupt_fault_is_caught_by_validation_and_retried():
+    spec = _spec(faults=(FaultEntry(kind="corrupt", times=1),))
+    clean, _ = run_scenario(_clean_twin(spec))
+    faulty, report = run_scenario(spec)
+
+    assert report.attempts == 2  # corrupt result rejected, rerun clean
+    assert faulty.completion_time == clean.completion_time
+    assert _points(faulty) == _points(clean)
+
+
+def test_crash_fault_downgrades_to_an_exception():
+    # In-process scenarios have no worker to kill: CRASH must become a
+    # catchable failure that the retry loop absorbs, never os._exit.
+    spec = _spec(faults=(FaultEntry(kind="crash", times=1),))
+    clean, _ = run_scenario(_clean_twin(spec))
+    faulty, report = run_scenario(spec)
+
+    assert report.attempts == 2
+    assert faulty.completion_time == clean.completion_time
+
+
+def test_mixed_fault_stack_recovers():
+    spec = _spec(faults=(
+        FaultEntry(kind="raise", times=2),
+        FaultEntry(kind="corrupt", times=1),
+    ))
+    clean, _ = run_scenario(_clean_twin(spec))
+    faulty, report = run_scenario(spec)
+
+    # Default budget covers every declared window plus slack.
+    assert report.attempts == 4
+    assert faulty.completion_time == clean.completion_time
+    assert _points(faulty) == _points(clean)
+
+
+def test_faults_on_a_noisy_scenario_leave_the_baseline_clean():
+    spec = _spec(
+        nranks=4,
+        traffic=(TrafficSpec(kind="alltoall", rate=0.3),),
+        faults=(FaultEntry(kind="raise", times=1),),
+    )
+    clean, _ = run_scenario(_clean_twin(spec))
+    faulty, report = run_scenario(spec)
+
+    assert report.attempts == 2
+    assert faulty.completion_time == clean.completion_time
+    assert faulty.quiet_completion_time == clean.quiet_completion_time
+    assert faulty.slowdown == clean.slowdown
+
+
+def test_exhausted_retries_raise_scenario_execution_error():
+    spec = _spec(faults=(FaultEntry(kind="raise", times=3),))
+    with pytest.raises(ScenarioExecutionError) as err:
+        run_scenario(spec, retries=1)
+    assert "chaos" in str(err.value)
+
+
+def test_external_fault_plan_composes_with_the_spec():
+    # An executor-style plan targeting the scenario's name merges after
+    # the spec's own windows; the budget still defaults high enough.
+    spec = _spec(faults=(FaultEntry(kind="raise", times=1),))
+    plan = FaultPlan((FaultSpec(label="chaos", kind=FaultKind.RAISE,
+                                times=1),))
+    clean, _ = run_scenario(_clean_twin(spec))
+    faulty, report = run_scenario(spec, fault_plan=plan, retries=4)
+
+    assert report.attempts == 3  # spec window, then plan window, then clean
+    assert faulty.completion_time == clean.completion_time
+
+
+def test_recovered_result_lands_in_the_store(tmp_path):
+    store = ScenarioStore(tmp_path / "store")
+    spec = _spec(faults=(FaultEntry(kind="raise", times=1),))
+    cold, cold_report = run_scenario(spec, cache=store)
+    assert cold_report.attempts == 2
+
+    warm, warm_report = run_scenario(spec, cache=store)
+    assert warm_report.cached
+    assert warm.to_jsonable() == cold.to_jsonable()

@@ -1,0 +1,148 @@
+"""Serve tier x scenario tier: the ``scenario`` op end to end.
+
+The serving core answers scenario questions with the same tiering
+discipline as curve queries — hot LRU, in-flight coalescing, the
+persistent store, shared admission control — and the answer must be
+the same document :func:`repro.scenario.run_scenario` produces
+directly.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exec import ExecPolicy
+from repro.scenario import ScenarioSpec, ScenarioStore, WorkloadSpec, run_scenario
+from repro.serve import ServeCore
+from repro.serve.frontend import handle_line
+
+pytestmark = [pytest.mark.scenario, pytest.mark.serve]
+
+SIZES = (64, 1024)
+
+
+def _spec_data(**overrides) -> dict:
+    spec = dict(
+        name="served", library="mpich", config="pc_netgear_ga620",
+        workload={"sizes": list(SIZES)},
+    )
+    spec.update(overrides)
+    return spec
+
+
+def _core(tmp_path, **kw):
+    kw.setdefault("policy", ExecPolicy(max_workers=1, backoff=0.001))
+    kw.setdefault("scenario_cache", ScenarioStore(tmp_path / "scenarios"))
+    return ServeCore(**kw)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_scenario_op_matches_a_direct_run(tmp_path):
+    async def body():
+        core = _core(tmp_path)
+        try:
+            request = json.dumps({"op": "scenario", "spec": _spec_data()})
+            return await handle_line(core, request)
+        finally:
+            await core.aclose()
+
+    response = _run(body())
+    assert response["ok"] is True
+    assert response["source"] == "computed"
+
+    direct, report = run_scenario(ScenarioSpec.from_jsonable(_spec_data()))
+    assert response["fingerprint"] == report.fingerprint
+    assert response["scenario"] == direct.to_jsonable()
+
+
+def test_second_call_is_hot_and_restart_hits_the_store(tmp_path):
+    async def body(source_log):
+        core = _core(tmp_path)
+        try:
+            for _ in range(2):
+                document = await core.scenario(_spec_data())
+                source_log.append(document["source"])
+        finally:
+            await core.aclose()
+
+    sources = []
+    _run(body(sources))
+    assert sources == ["computed", "hot"]
+
+    # A fresh core over the same store answers from disk, not simulation.
+    sources = []
+    _run(body(sources))
+    assert sources[0] == "store"
+
+
+def test_concurrent_identical_specs_coalesce(tmp_path):
+    async def body():
+        core = _core(tmp_path)
+        try:
+            docs = await asyncio.gather(
+                core.scenario(_spec_data()),
+                core.scenario(_spec_data()),
+                core.scenario(_spec_data()),
+            )
+        finally:
+            await core.aclose()
+        return docs
+
+    docs = _run(body())
+    assert docs[0]["scenario"] == docs[1]["scenario"] == docs[2]["scenario"]
+    sources = sorted(d["source"] for d in docs)
+    assert sources.count("computed") == 1
+    assert sources.count("coalesced") == 2
+
+
+def test_bad_spec_is_a_typed_bad_request_with_field_path(tmp_path):
+    async def body():
+        core = _core(tmp_path)
+        try:
+            request = json.dumps({
+                "op": "scenario",
+                "spec": _spec_data(traffic=[{"rate": 2.0}]),
+            })
+            return await handle_line(core, request)
+        finally:
+            await core.aclose()
+
+    response = _run(body())
+    assert response["ok"] is False
+    assert response["error"]["kind"] == "bad-request"
+    assert "traffic[0].rate" in response["error"]["detail"]
+
+
+def test_unknown_op_message_names_scenario(tmp_path):
+    async def body():
+        core = _core(tmp_path)
+        try:
+            return await handle_line(core, json.dumps({"op": "nope"}))
+        finally:
+            await core.aclose()
+
+    response = _run(body())
+    assert response["ok"] is False
+    assert "scenario" in response["error"]["detail"]
+
+
+def test_stats_expose_the_scenario_tier(tmp_path):
+    async def body():
+        core = _core(tmp_path)
+        try:
+            await core.scenario(_spec_data())
+            await core.scenario(_spec_data())
+            return core.stats()
+        finally:
+            await core.aclose()
+
+    stats = _run(body())
+    block = stats["scenario"]
+    assert block["requests"] == 2
+    assert block["computed"] == 1
+    assert block["hot"] == 1
+    assert block["store_root"].endswith("scenarios")

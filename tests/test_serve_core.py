@@ -311,6 +311,17 @@ def test_query_jsonable_round_trip_and_unknown_fields():
         ServeQuery(library="mpich", repeats=0)
 
 
+def test_schedule_without_latency_point_answers_with_null_latency():
+    """A sizes schedule with no sub-64-byte point must still answer —
+    latency_us comes back null, never a dropped connection."""
+    core = _core()
+    response = asyncio.run(
+        core.query(ServeQuery(library="mpich", sizes=(64, 1024)))
+    )
+    assert response.metrics["latency_us"] is None
+    assert response.metrics["max_mbps"] > 0
+
+
 def test_crossover_and_cost_blocks(tmp_path):
     """compare_with yields the crossover block; every response carries
     the paper-priced cost block for the requested node count."""
