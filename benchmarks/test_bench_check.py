@@ -1,0 +1,69 @@
+"""Bench: a warm whole-project check (summaries cached) stays under 2s.
+
+The interprocedural layer doubled what a check run computes (per-file
+parse + per-function dataflow summaries), so this guard pins the cost
+contract that keeps ``repro check`` on the pre-commit inner loop: with
+the AST cache warm, a whole-src run — every family including async-*
+and fp-* — re-parses zero files, re-summarizes zero modules, and
+finishes inside a 2-second budget.  The interprocedural closure
+(indexing, call resolution, transitive blocking/env walks) is
+recomputed every run by design; this bench proves that recompute is
+the cheap part.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.check.analyzer import analyze_project
+from repro.check.project import AstCache, Project
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+WARM_BUDGET_S = 2.0
+
+
+def _timed_run(cache: AstCache):
+    start = time.perf_counter()
+    project = Project.from_paths([SRC], cache=cache)
+    findings = analyze_project(project)
+    elapsed = time.perf_counter() - start
+    return project, findings, elapsed
+
+
+def test_warm_whole_project_run_stays_under_budget(tmp_path):
+    cache = AstCache(tmp_path / "ast")
+
+    cold_project, cold_findings, cold_s = _timed_run(cache)
+    assert cold_findings == []
+    assert cold_project.stats.summaries_computed == cold_project.stats.files
+
+    warm_project, warm_findings, warm_s = _timed_run(cache)
+    assert warm_findings == []
+    # Structural claims first: nothing re-parsed, nothing re-summarized.
+    assert warm_project.stats.parsed == 0
+    assert warm_project.stats.summaries_computed == 0
+    assert warm_project.stats.summaries_reused == warm_project.stats.files
+    # Then the wall-clock contract CI enforces.
+    assert warm_s < WARM_BUDGET_S, (
+        f"warm whole-project check took {warm_s:.2f}s "
+        f"(budget {WARM_BUDGET_S:.1f}s)"
+    )
+
+    report(
+        "repro check warm-run budget (all families, summaries cached)",
+        "\n".join(
+            [
+                f"files analyzed     {cold_project.stats.files}",
+                f"cold run           {cold_s * 1e3:8.1f} ms "
+                f"({cold_project.stats.summaries_computed} summaries"
+                " computed)",
+                f"warm run           {warm_s * 1e3:8.1f} ms "
+                f"({warm_project.stats.summaries_reused} summaries reused)",
+                f"budget             {WARM_BUDGET_S * 1e3:8.1f} ms",
+            ]
+        ),
+    )

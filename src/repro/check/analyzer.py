@@ -125,15 +125,25 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
 _MODULE_RE = re.compile(r"^#\s*repro:\s*module=([A-Za-z_][\w.]*)\s*$")
 
 
-def collect_suppressions(source: str) -> dict[int, set[str]]:
-    """``# repro: allow[...]`` comments, as line -> suppressed rule ids.
+@dataclass(frozen=True)
+class AllowComment:
+    """One ``# repro: allow[...]`` comment, located and resolved.
 
-    A trailing comment suppresses matching findings on its own line; a
-    standalone comment (possibly continued by further comment lines)
-    covers the next non-blank, non-comment line.
+    ``target_line`` is the line findings must sit on to be suppressed:
+    the comment's own line for a trailing comment, the next non-blank
+    non-comment line for a standalone one.
     """
+
+    line: int
+    col: int
+    target_line: int
+    ids: tuple[str, ...]
+
+
+def collect_allow_comments(source: str) -> list[AllowComment]:
+    """Every allow comment in ``source``, in order of appearance."""
     lines = source.splitlines()
-    out: dict[int, set[str]] = {}
+    out: list[AllowComment] = []
 
     def _target_line(comment_line: int, standalone: bool) -> int:
         if not standalone:
@@ -154,11 +164,37 @@ def collect_suppressions(source: str) -> dict[int, set[str]]:
             match = _ALLOW_RE.search(tok.string)
             if not match:
                 continue
-            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            ids = tuple(
+                dict.fromkeys(
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                )
+            )
             standalone = not tok.line[: tok.start[1]].strip()
-            out.setdefault(_target_line(tok.start[0], standalone), set()).update(ids)
+            out.append(
+                AllowComment(
+                    line=tok.start[0],
+                    col=tok.start[1] + 1,
+                    target_line=_target_line(tok.start[0], standalone),
+                    ids=ids,
+                )
+            )
     except tokenize.TokenError:
         pass
+    return out
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """``# repro: allow[...]`` comments, as line -> suppressed rule ids.
+
+    A trailing comment suppresses matching findings on its own line; a
+    standalone comment (possibly continued by further comment lines)
+    covers the next non-blank, non-comment line.
+    """
+    out: dict[int, set[str]] = {}
+    for comment in collect_allow_comments(source):
+        out.setdefault(comment.target_line, set()).update(comment.ids)
     return out
 
 
@@ -198,6 +234,7 @@ def analyze_project(
     project,
     policy: Policy = DEFAULT_POLICY,
     rules: frozenset[str] | set[str] | None = None,
+    only_paths: set[str] | frozenset[str] | None = None,
 ) -> list[Finding]:
     """Run every applicable rule family over a built Project.
 
@@ -207,28 +244,61 @@ def analyze_project(
     module each finding lands in.  ``rules`` (when given) is the set of
     rule ids to keep — families with no selected rule are skipped
     entirely; ``parse-error`` is always reported.
+
+    ``only_paths`` (the ``--changed`` machinery) restricts *reported*
+    findings to those paths and runs per-module families only on them;
+    project-scope families still see the whole graph — a cross-module
+    property needs the full universe even when only one file moved.
     """
-    from repro.check.rules import FAMILIES, PROJECT_FAMILIES
+    from repro.check.rules import FAMILIES, PROJECT_FAMILIES, RULES
 
     def selected(family) -> bool:
         return rules is None or bool(set(family.RULES) & rules)
 
-    raw: list[Finding] = list(project.errors)
+    def in_scope(path: str) -> bool:
+        return only_paths is None or path in only_paths
+
+    raw: list[Finding] = [f for f in project.errors if in_scope(f.path)]
     for family in FAMILIES:
         if not selected(family):
             continue
         for ctx in project.modules:
+            if not in_scope(ctx.path):
+                continue
             if policy.family_applies(family.FAMILY, ctx.module):
                 raw.extend(family.check(ctx))
     for family in PROJECT_FAMILIES:
         if not selected(family):
             continue
         for finding in family.check_project(project):
+            if not in_scope(finding.path):
+                continue
             module = project.module_for_path(finding.path)
             if policy.family_applies(family.FAMILY, module):
                 raw.append(finding)
 
+    # Suppressions are collected eagerly for every in-scope module (not
+    # just paths with findings) so stale allow comments in clean files
+    # are still judged by the unused-suppression meta-rule.
     suppressions_by_path: dict[str, dict[int, set[str]]] = {}
+    allows_by_path: dict[str, list[AllowComment]] = {}
+    for ctx in project.modules:
+        if not in_scope(ctx.path):
+            continue
+        if "allow[" not in ctx.source:
+            # Fast path: tokenizing is ~ms per file; a substring probe
+            # keeps the eager sweep free for the vast allow-less case.
+            allows_by_path[ctx.path] = []
+            suppressions_by_path[ctx.path] = {}
+            continue
+        comments = collect_allow_comments(ctx.source)
+        allows_by_path[ctx.path] = comments
+        table: dict[int, set[str]] = {}
+        for comment in comments:
+            table.setdefault(comment.target_line, set()).update(comment.ids)
+        suppressions_by_path[ctx.path] = table
+
+    consumed: set[tuple[str, int, str]] = set()
     out: list[Finding] = []
     for finding in raw:
         module = project.module_for_path(finding.path)
@@ -246,9 +316,72 @@ def analyze_project(
                 collect_suppressions(source) if source is not None else {}
             )
         if _suppressed(finding, suppressions_by_path[finding.path]):
+            consumed.add((finding.path, finding.line, finding.rule))
             continue
         out.append(finding)
+
+    if rules is None or "unused-suppression" in rules:
+        out.extend(
+            _unused_suppressions(allows_by_path, consumed, rules, RULES)
+        )
     return sorted(out)
+
+
+def _unused_suppressions(
+    allows_by_path: dict[str, list[AllowComment]],
+    consumed: set[tuple[str, int, str]],
+    rules: frozenset[str] | set[str] | None,
+    known_rules: dict,
+) -> list[Finding]:
+    """Allow comments that suppressed nothing this run.
+
+    Under a ``--rules`` selection, only allows naming *selected* rules
+    are judged (an allow for a family that did not run is not stale,
+    just out of scope today).  Unknown rule ids are always findings —
+    they can never suppress anything.  ``allow[unused-suppression]`` is
+    never judged: a suppression of the meta-rule by itself would be
+    unfalsifiable.  These findings deliberately bypass line
+    suppression — silencing the hygiene rule with the mechanism it
+    polices would hide exactly the rot it exists to find.
+    """
+    findings: list[Finding] = []
+    for path, comments in allows_by_path.items():
+        for comment in comments:
+            for rule_id in comment.ids:
+                if rule_id == "unused-suppression":
+                    continue
+                if rule_id not in known_rules:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=comment.line,
+                            col=comment.col,
+                            rule="unused-suppression",
+                            message=(
+                                f"allow[{rule_id}] names an unknown rule "
+                                "id — it can never suppress anything "
+                                "(see --list-rules)"
+                            ),
+                        )
+                    )
+                    continue
+                if rules is not None and rule_id not in rules:
+                    continue
+                if (path, comment.target_line, rule_id) not in consumed:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=comment.line,
+                            col=comment.col,
+                            rule="unused-suppression",
+                            message=(
+                                f"allow[{rule_id}] suppresses nothing — "
+                                "the violation it excused is gone; "
+                                "delete the comment"
+                            ),
+                        )
+                    )
+    return findings
 
 
 def analyze_source(

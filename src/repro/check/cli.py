@@ -105,9 +105,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "analyze only files whose content digest differs from the "
+            "AST cache (requires --cache); cross-module families still "
+            "see the whole graph, findings are reported for changed "
+            "files only"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
-        help="report parsed vs cache-hit file counts on stderr",
+        help=(
+            "report parsed vs cache-hit file counts and summary "
+            "compute/reuse counts on stderr"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -130,22 +143,38 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     from repro.check.project import AstCache, Project
 
+    if args.changed and not args.cache:
+        print(
+            "repro-check: --changed requires --cache (the AST cache is "
+            "what defines 'unchanged')",
+            file=sys.stderr,
+        )
+        return 2
+
     cache = AstCache(args.cache) if args.cache else None
     try:
         project = Project.from_paths(args.paths, cache=cache)
     except FileNotFoundError as exc:
         print(f"repro-check: {exc}", file=sys.stderr)
         return 2
-    findings = analyze_project(project, policy=DEFAULT_POLICY, rules=rules)
+    only_paths = frozenset(project.changed_paths) if args.changed else None
+    findings = analyze_project(
+        project, policy=DEFAULT_POLICY, rules=rules, only_paths=only_paths
+    )
     nfiles = project.stats.files
 
     if args.stats:
-        print(
+        stats = project.stats
+        line = (
             f"repro-check: {nfiles} files, "
-            f"{project.stats.parsed} parsed, "
-            f"{project.stats.cache_hits} from AST cache",
-            file=sys.stderr,
+            f"{stats.parsed} parsed, "
+            f"{stats.cache_hits} from AST cache, "
+            f"{stats.summaries_computed} summaries computed, "
+            f"{stats.summaries_reused} reused"
         )
+        if args.changed:
+            line += f", {len(project.changed_paths)} changed"
+        print(line, file=sys.stderr)
 
     if args.format == "json":
         print(

@@ -141,6 +141,19 @@ DEFAULT_POLICY = Policy(
         "dimension": (
             "repro.net", "repro.mplib", "repro.hw", "repro.analytic",
         ),
+        # Event-loop safety: only the serving layer (and the scenario
+        # CLI where it drives the loop) runs coroutines; flagging
+        # time.sleep in a worker process would be noise.
+        "async-safety": ("repro.serve", "repro.scenario.cli"),
+        # Fingerprint completeness at every cache boundary: the four
+        # packages that own content-addressed stores (sweep curves,
+        # scenario runs, verify verdicts, analytic bands).  The serve
+        # hot tier keys on the same exec fingerprints, so it is covered
+        # transitively at their put sites.
+        "fingerprint-flow": (
+            "repro.exec", "repro.scenario", "repro.verify",
+            "repro.analytic",
+        ),
     },
     family_exemptions={
         # Live loopback benchmarking: real sockets, real clock — the

@@ -102,11 +102,13 @@ class AstCache:
 
 @dataclass
 class ProjectStats:
-    """Where the trees in one Project build came from."""
+    """Where the trees and summaries in one Project build came from."""
 
     files: int = 0
     parsed: int = 0
     cache_hits: int = 0
+    summaries_computed: int = 0
+    summaries_reused: int = 0
 
 
 @dataclass
@@ -167,6 +169,14 @@ class Project:
         #: Parse failures, reported as ``parse-error`` findings.
         self.errors: list[Finding] = []
         self.stats = ProjectStats()
+        #: Content digest per loaded path (also keys summary entries).
+        self.digest_by_path: dict[str, str] = {}
+        #: Paths whose tree was *not* served by the AST cache this
+        #: build — i.e. new or edited since the last cached run.
+        self.changed_paths: set[str] = set()
+        #: The cache the project was built with (summaries share it).
+        self.ast_cache: AstCache | None = None
+        self._dataflow = None
 
     # -- construction ---------------------------------------------------------
 
@@ -178,6 +188,7 @@ class Project:
     ) -> "Project":
         """Build from files and directory trees (may raise FileNotFoundError)."""
         project = cls()
+        project.ast_cache = cache
         for path in iter_python_files(paths):
             project._load_file(path, cache)
         return project
@@ -206,13 +217,13 @@ class Project:
             source = data.decode("utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             raise FileNotFoundError(f"cannot read {path}: {exc}") from exc
-        tree = None
-        if cache is not None:
-            digest = file_digest(data)
-            tree = cache.get(digest)
+        digest = file_digest(data)
+        self.digest_by_path[str(path)] = digest
+        tree = cache.get(digest) if cache is not None else None
         if tree is not None:
             self.stats.cache_hits += 1
         else:
+            self.changed_paths.add(str(path))
             try:
                 tree = ast.parse(source, filename=str(path))
             except SyntaxError as exc:
@@ -267,6 +278,18 @@ class Project:
     @property
     def modules(self) -> list[ModuleContext]:
         return [info.ctx for info in self._infos]
+
+    def dataflow(self):
+        """The interprocedural view (memoized per build).
+
+        Summaries come from the per-file cache when the project was
+        built with one; see :mod:`repro.check.dataflow`.
+        """
+        if self._dataflow is None:
+            from repro.check.dataflow import Dataflow
+
+            self._dataflow = Dataflow.build(self)
+        return self._dataflow
 
     def module_for_path(self, path: str) -> str | None:
         info = self._by_path.get(path)

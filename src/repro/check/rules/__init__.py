@@ -12,9 +12,11 @@ module; families report every raw violation they see.
 from __future__ import annotations
 
 from repro.check.rules import (
+    asyncsafety,
     cache,
     determinism,
     dimension,
+    fingerprint,
     protocol,
     purity,
     verify,
@@ -25,7 +27,9 @@ from repro.check.rules import (
 FAMILIES = (determinism, purity, yields, cache)
 
 #: Project-scope families: run once over the whole module graph.
-PROJECT_FAMILIES = (protocol, verify, dimension)
+#: asyncsafety and fingerprint ride the interprocedural summaries in
+#: :mod:`repro.check.dataflow`.
+PROJECT_FAMILIES = (protocol, verify, dimension, asyncsafety, fingerprint)
 
 #: rule id -> (family name, description), for --list-rules and docs.
 RULES: dict[str, tuple[str, str]] = {
@@ -34,3 +38,6 @@ RULES: dict[str, tuple[str, str]] = {
     for rule_id, description in family.RULES.items()
 }
 RULES["parse-error"] = ("driver", "file could not be parsed as Python")
+RULES["unused-suppression"] = (
+    "driver", "allow[...] comment that suppresses nothing"
+)

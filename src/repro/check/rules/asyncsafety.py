@@ -1,0 +1,185 @@
+"""async-* rules: event-loop safety for the serving layer.
+
+The serve core is correct because of three disciplines the rest of the
+tree never needed: shared state is only mutated between awaits (one
+event loop makes sync statement runs atomic), every simulation runs
+behind ``asyncio.to_thread``, and every spawned task is either awaited
+or parked on an attribute with an exception sink.  These rules encode
+exactly those disciplines over the interprocedural summaries from
+:mod:`repro.check.dataflow`:
+
+``async-atomicity``
+    A value read from shared ``self`` state before an ``await`` and
+    written back after it — the classic check-then-act / stale
+    read-modify-write race.  The detection is path-sensitive (a branch
+    that ``return``\\ s before the write is clean, which is what the
+    coalescing-future probe relies on) and constant-RHS writes are
+    exempt (``self._task = None`` after awaiting it is the sanctioned
+    cleanup idiom; counters with literal deltas are atomic per event
+    loop turn).
+
+``async-blocking``
+    A blocking primitive (``time.sleep``, sync socket / subprocess
+    IO) or a simulation entry point (``execute_with_policy``,
+    ``run_scenario``, …) called from a coroutine, directly or through
+    any chain of resolvable sync calls, without ``asyncio.to_thread``.
+    Passing the callable *by reference* to ``to_thread`` never fires —
+    only Call nodes are traced.  Unresolvable calls (methods on
+    arbitrary objects) are skipped, not guessed.
+
+``async-orphan-task``
+    A ``create_task`` / ``ensure_future`` whose result is dropped on
+    the floor: nothing can observe the task's exception and the event
+    loop may garbage-collect it mid-flight.
+
+``async-unbounded``
+    ``asyncio.Queue()`` (or Lifo/Priority) constructed without a
+    positive ``maxsize`` — an unbounded queue turns backpressure into
+    memory growth under sustained load.
+"""
+
+from __future__ import annotations
+
+from repro.check.analyzer import Finding
+
+FAMILY = "async-safety"
+
+RULES = {
+    "async-atomicity": (
+        "shared-state read-modify-write spans an await point"
+    ),
+    "async-blocking": (
+        "blocking call inside a coroutine (wrap in asyncio.to_thread)"
+    ),
+    "async-orphan-task": (
+        "create_task result dropped without an exception sink"
+    ),
+    "async-unbounded": "unbounded asyncio queue construction",
+}
+
+#: Dotted names that block the calling thread outright.
+BLOCKING_NAMES = frozenset({"time.sleep", "os.system", "os.popen"})
+
+#: Dotted prefixes that are synchronous IO wholesale.
+BLOCKING_PREFIXES = ("socket.", "subprocess.", "urllib.", "requests.")
+
+#: Project entry points that run whole simulations; milliseconds to
+#: seconds of CPU that must never run on the event loop.
+BLOCKING_PROJECT = frozenset({
+    "repro.exec.scheduler.execute_with_policy",
+    "repro.exec.scheduler.execute_sweeps",
+    "repro.scenario.runner.run_scenario",
+    "repro.scenario.compose.compose_run",
+    "repro.core.pingpong.measure_sweep",
+})
+
+
+def is_blocking_primitive(dotted: str) -> bool:
+    """Does this canonical dotted call name block the calling thread?"""
+    return (
+        dotted in BLOCKING_NAMES
+        or dotted in BLOCKING_PROJECT
+        or any(dotted.startswith(p) for p in BLOCKING_PREFIXES)
+    )
+
+
+def check_project(project) -> list[Finding]:
+    """Raw async-* findings over the project's dataflow summaries."""
+    flow = project.dataflow()
+    findings: list[Finding] = []
+    for path, module, summary in flow.iter_functions():
+        for race in summary.races:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=race.write_line,
+                    col=race.write_col,
+                    rule="async-atomicity",
+                    message=(
+                        f"write of shared 'self.{race.attr}' in coroutine "
+                        f"'{summary.qualname}' uses a value read at line "
+                        f"{race.read_line}, but an await at line "
+                        f"{race.await_line} may have let another task "
+                        "change it — re-read after the await or use the "
+                        "coalescing-future discipline"
+                    ),
+                )
+            )
+        if summary.is_async:
+            findings.extend(_blocking(flow, path, module, summary))
+        for line, col in summary.orphan_tasks:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule="async-orphan-task",
+                    message=(
+                        f"task spawned in '{summary.qualname}' is never "
+                        "stored or awaited — its exception is silently "
+                        "lost and the loop may collect it mid-flight"
+                    ),
+                )
+            )
+        for line, col in summary.unbounded_queues:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule="async-unbounded",
+                    message=(
+                        f"asyncio queue constructed in "
+                        f"'{summary.qualname}' without a maxsize bound — "
+                        "unbounded queues turn backpressure into memory "
+                        "growth"
+                    ),
+                )
+            )
+    return findings
+
+
+def _blocking(flow, path: str, module: str | None, summary) -> list[Finding]:
+    findings: list[Finding] = []
+    for dotted, line, col in summary.calls:
+        if is_blocking_primitive(dotted):
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule="async-blocking",
+                    message=(
+                        f"blocking call to '{dotted}' inside coroutine "
+                        f"'{summary.qualname}' stalls the event loop — "
+                        "wrap it in asyncio.to_thread"
+                    ),
+                )
+            )
+            continue
+        if module is None:
+            continue
+        callee = flow.resolve_call(module, summary, dotted)
+        if callee is None or callee.is_async:
+            # Unresolvable receivers are skipped, not guessed; a called
+            # coroutine is judged at its own await sites.
+            continue
+        hit = flow.first_blocking(
+            callee.module, callee, is_blocking_primitive
+        )
+        if hit is not None:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule="async-blocking",
+                    message=(
+                        f"call to '{dotted}' from coroutine "
+                        f"'{summary.qualname}' transitively reaches "
+                        f"blocking '{hit[1]}' — wrap the chain in "
+                        "asyncio.to_thread"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,181 @@
+"""fp-* rules: fingerprint completeness at every cache boundary.
+
+Five stores replay results by content fingerprint (sweep curves,
+scenario runs, verify verdicts, analytic bands, the serve hot tier).
+Their shared contract: **everything that shapes a cached value must be
+folded into its key**, or a warm hit silently replays the wrong
+answer.  Code changes are covered by the derived code salt; these
+rules prove the *runtime inputs* are covered too, using the backward
+slices computed per cache-boundary call in
+:mod:`repro.check.dataflow`:
+
+``fp-unsalted-input``
+    A parameter or ``self`` attribute reaches the cached value (through
+    its data slice or through a branch condition that selects it) but
+    never reaches the key expression.
+
+``fp-dead-salt``
+    The mirror image: a key input that no longer influences the value.
+    Dead salt is not wrong, but it shards the cache for nothing and
+    usually marks a refactor that forgot the fingerprint.
+
+``fp-env-behind-cache``
+    An ``os.environ`` / ``os.getenv`` read on the *compute* side of the
+    boundary — directly in the value expression or inside any
+    resolvable function it calls.  Env vars must be resolved into
+    explicit policy *before* the boundary (the ``from_env`` constructors
+    do exactly that) so that the fingerprint can see them.
+
+Roots whose names mark retry/timeout/observability plumbing
+(``retries``, ``trace``, ``obs``, ``on_fallback``, …) are exempt on
+both sides: they change *how* a result is produced, never *what* it
+is — the chaos tier proves that bit-identity separately.  Calls that
+cannot be resolved in-project are skipped, never guessed; the worked
+examples in docs/STATIC_ANALYSIS.md show what that means in practice.
+"""
+
+from __future__ import annotations
+
+from repro.check.analyzer import Finding
+
+FAMILY = "fingerprint-flow"
+
+RULES = {
+    "fp-unsalted-input": (
+        "input reaches a cached value but not its fingerprint"
+    ),
+    "fp-dead-salt": (
+        "fingerprint field no longer influences the cached value"
+    ),
+    "fp-env-behind-cache": (
+        "environment read on the compute side of a cache boundary"
+    ),
+}
+
+#: Name fragments marking execution plumbing that never alters result
+#: content (retry/timeout/fault schedules, tracing, callbacks, the
+#: caches themselves).  Bit-identity under all of these is what the
+#: chaos and obs test tiers assert dynamically.
+BENIGN_FRAGMENTS = (
+    "retries", "retry", "timeout", "backoff", "trace", "obs",
+    "recorder", "report", "fault", "cache", "store", "on_fallback",
+    "callback", "progress",
+)
+
+
+def _benign(root: str) -> bool:
+    name = root.removeprefix("self.").lower()
+    return any(frag in name for frag in BENIGN_FRAGMENTS)
+
+
+def check_project(project) -> list[Finding]:
+    """Raw fp-* findings for every cache-boundary put in the project."""
+    flow = project.dataflow()
+    findings: list[Finding] = []
+    for path, module, summary in flow.iter_functions():
+        for put in summary.cache_puts:
+            findings.extend(_check_put(flow, path, module, summary, put))
+    return findings
+
+
+def _check_put(flow, path, module, summary, put) -> list[Finding]:
+    findings: list[Finding] = []
+    key = set(put.key_roots)
+    value_side = set(put.value_roots) | set(put.control_roots)
+    site = f"{put.recv}.{put.method}()"
+
+    for root in sorted(value_side - key):
+        if _benign(root):
+            continue
+        findings.append(
+            Finding(
+                path=path,
+                line=put.line,
+                col=put.col,
+                rule="fp-unsalted-input",
+                message=(
+                    f"'{root}' reaches the value cached at {site} in "
+                    f"'{summary.qualname}' but is not folded into its "
+                    "fingerprint — a warm hit would replay a result "
+                    "computed under a different input"
+                ),
+            )
+        )
+    for root in sorted(key - value_side):
+        if _benign(root):
+            continue
+        findings.append(
+            Finding(
+                path=path,
+                line=put.line,
+                col=put.col,
+                rule="fp-dead-salt",
+                message=(
+                    f"'{root}' is folded into the fingerprint at {site} "
+                    f"in '{summary.qualname}' but no longer influences "
+                    "the cached value — dead salt shards the cache for "
+                    "nothing"
+                ),
+            )
+        )
+    findings.extend(_env_reads(flow, path, module, summary, put, site))
+    return findings
+
+
+def _env_reads(flow, path, module, summary, put, site) -> list[Finding]:
+    findings: list[Finding] = []
+    for env_name, _line in put.value_env:
+        findings.append(
+            Finding(
+                path=path,
+                line=put.line,
+                col=put.col,
+                rule="fp-env-behind-cache",
+                message=(
+                    f"'{env_name}' is read while computing the value "
+                    f"cached at {site} in '{summary.qualname}' — resolve "
+                    "environment into explicit policy before the cache "
+                    "boundary so the fingerprint can see it"
+                ),
+            )
+        )
+    if module is None:
+        return findings
+    seen: set[tuple[str | None, str]] = {(module, summary.qualname)}
+    stack = []
+    for dotted, _line in put.value_calls:
+        callee = flow.resolve_call(module, summary, dotted)
+        if callee is not None:
+            stack.append((dotted, callee, 0))
+    reported: set[str] = set()
+    while stack:
+        top_dotted, callee, depth = stack.pop()
+        key = (callee.module, callee.qualname)
+        if key in seen or depth > 40:
+            continue
+        seen.add(key)
+        for env_name, _l, _c in callee.env_reads:
+            tag = f"{callee.qualname}:{env_name}"
+            if tag in reported:
+                continue
+            reported.add(tag)
+            findings.append(
+                Finding(
+                    path=path,
+                    line=put.line,
+                    col=put.col,
+                    rule="fp-env-behind-cache",
+                    message=(
+                        f"value cached at {site} in '{summary.qualname}' "
+                        f"is computed via '{top_dotted}', which reads "
+                        f"'{env_name}' (in '{callee.qualname}') — resolve "
+                        "environment into explicit policy before the "
+                        "cache boundary"
+                    ),
+                )
+            )
+        for sub_dotted, _l, _c in callee.calls:
+            sub = flow.resolve_call(callee.module, callee, sub_dotted)
+            if sub is not None:
+                stack.append((top_dotted, sub, depth + 1))
+    return findings

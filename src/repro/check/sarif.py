@@ -29,12 +29,26 @@ _FAMILY_LEVELS = {
     "driver": "error",
     "protocol-flow": "error",
     "verify": "error",
+    # An await race or an unsalted cache input silently corrupts served
+    # answers — as load-bearing as a broken handshake.
+    "async-safety": "error",
+    "fingerprint-flow": "error",
     "dimension": "warning",
     "determinism": "warning",
     "purity": "warning",
     "yield-discipline": "warning",
     "cache-safety": "warning",
 }
+
+#: Per-rule overrides of the family default; a stale allow comment is
+#: hygiene, not breakage.
+_RULE_LEVELS = {"unused-suppression": "warning"}
+
+
+def _level(rule_id: str, family: str) -> str:
+    return _RULE_LEVELS.get(
+        rule_id, _FAMILY_LEVELS.get(family, "warning")
+    )
 
 
 def _relative_uri(path: str) -> str:
@@ -56,7 +70,7 @@ def _rule_descriptors() -> list[dict]:
             "shortDescription": {"text": description},
             "properties": {"family": family},
             "defaultConfiguration": {
-                "level": _FAMILY_LEVELS.get(family, "warning"),
+                "level": _level(rule_id, family),
             },
         }
         for rule_id, (family, description) in sorted(RULES.items())
@@ -69,7 +83,7 @@ def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
     family = RULES.get(finding.rule, ("driver", ""))[0]
     result = {
         "ruleId": finding.rule,
-        "level": _FAMILY_LEVELS.get(family, "warning"),
+        "level": _level(finding.rule, family),
         "message": {"text": finding.message},
         "locations": [
             {

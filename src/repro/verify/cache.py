@@ -48,8 +48,17 @@ def entry_key(
     sizes: tuple[int, ...],
     hop_bound: int,
     check_faults: bool,
+    *,
+    with_replay: bool = True,
 ) -> str:
-    """Content key of one exploration request."""
+    """Content key of one exploration request.
+
+    ``with_replay`` is part of the key because it shapes the stored
+    verdict: counterexamples found with replay confirmation carry
+    engine traces that a replay-less exploration does not, and a
+    cached replay-less verdict must never satisfy a caller asking for
+    confirmed ones.
+    """
     from repro.exec.fingerprint import canonicalize
 
     blob = canonicalize({
@@ -58,6 +67,7 @@ def entry_key(
         "sizes": list(sizes),
         "hop_bound": hop_bound,
         "check_faults": check_faults,
+        "with_replay": with_replay,
     })
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -183,7 +183,10 @@ def verify_library(
 
     key = None
     if cache is not None:
-        key = vcache.entry_key(name, spec, sizes, hop_bound, check_faults)
+        key = vcache.entry_key(
+            name, spec, sizes, hop_bound, check_faults,
+            with_replay=with_replay,
+        )
         cached = cache.get(key)
         if cached is not None:
             return LibraryVerdict.from_dict(cached, from_cache=True)
@@ -251,6 +254,10 @@ def verify_library(
         )
 
     if cache is not None and key is not None:
+        # The compiled models are derived from mplib/verify/check
+        # sources, which the generation salt (verify_cache_salt)
+        # already digests — they are code, not a runtime input.
+        # repro: allow[fp-unsalted-input] models are covered by the generation salt
         cache.put(key, verdict.to_dict())
     return verdict
 

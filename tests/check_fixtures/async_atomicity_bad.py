@@ -1,0 +1,16 @@
+# repro: module=repro.serve.fixture_atomic
+"""Seeded mutant: a read-modify-write of shared state spans an await."""
+import asyncio
+
+
+class Stats:
+    def __init__(self):
+        self.total = 0
+
+    async def _refresh(self):
+        await asyncio.sleep(0)
+
+    async def bump(self):
+        seen = self.total
+        await self._refresh()
+        self.total = seen + 1  # BAD: another task may have bumped while parked

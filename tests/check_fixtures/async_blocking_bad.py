@@ -1,0 +1,10 @@
+# repro: module=repro.serve.fixture_blocking
+"""Seeded mutant: blocking calls directly on the event loop."""
+import time
+
+from repro.exec.scheduler import execute_with_policy
+
+
+async def slow_refresh(requests, policy):
+    time.sleep(0.01)  # BAD: stalls every connected client
+    return execute_with_policy(requests, policy)  # BAD: whole simulation on the loop

@@ -1,0 +1,47 @@
+# repro: module=repro.serve.fixture_async_good
+"""Mirrors the serve core's sanctioned idioms; must stay at zero
+async-* findings: the coalescing-future probe returns before the
+leader's writes, compute runs behind to_thread, the queue is bounded,
+the task is parked on an attribute, cleanup writes constants."""
+import asyncio
+
+
+class Core:
+    def __init__(self):
+        self._inflight = {}
+        self._computing = 0
+        self._queue = asyncio.Queue(maxsize=8)
+        self._task = None
+
+    def _compute(self, spec):
+        return spec
+
+    async def answer(self, spec, key):
+        waiter = self._inflight.get(key)
+        if waiter is not None:
+            return await waiter
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._computing += 1
+        try:
+            result = await asyncio.to_thread(self._compute, spec)
+        finally:
+            self._computing -= 1
+            del self._inflight[key]
+        future.set_result(result)
+        return result
+
+    def kick(self):
+        self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self):
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+
+    async def aclose(self):
+        if self._task is not None:
+            self._task.cancel()
+            await asyncio.sleep(0)
+            self._task = None

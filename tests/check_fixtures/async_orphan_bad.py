@@ -1,0 +1,7 @@
+# repro: module=repro.serve.fixture_orphan
+"""Seeded mutant: a spawned task with no owner and no exception sink."""
+import asyncio
+
+
+async def kick(worker):
+    asyncio.create_task(worker())  # BAD: exception lost, task collectable

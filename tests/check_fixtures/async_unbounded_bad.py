@@ -1,0 +1,7 @@
+# repro: module=repro.serve.fixture_unbounded
+"""Seeded mutant: an unbounded queue behind a public enqueue path."""
+import asyncio
+
+
+def build_queue():
+    return asyncio.Queue()  # BAD: backpressure becomes memory growth

@@ -1,0 +1,14 @@
+# repro: module=repro.exec.fixture_dead
+"""Seeded mutant: a key field the value stopped depending on."""
+
+
+def fingerprint(config, legacy):
+    return ("v2", config, legacy)
+
+
+def compute(config):
+    return (config,)
+
+
+def warm(cache, config, legacy):
+    cache.put(fingerprint(config, legacy), compute(config))  # BAD: 'legacy' is dead salt

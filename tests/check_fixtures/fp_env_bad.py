@@ -1,0 +1,15 @@
+# repro: module=repro.exec.fixture_env
+"""Seeded mutant: an env read on the compute side of the boundary."""
+import os
+
+
+def fingerprint(config):
+    return ("v1", config)
+
+
+def compute(config):
+    return (config, os.environ.get("REPRO_FIXTURE_KNOB", ""))
+
+
+def warm(cache, config):
+    cache.put(fingerprint(config), compute(config))  # BAD: env invisible to key

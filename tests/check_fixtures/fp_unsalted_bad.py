@@ -1,0 +1,14 @@
+# repro: module=repro.exec.fixture_unsalted
+"""Seeded mutant: a tunable shapes the cached value but not its key."""
+
+
+def fingerprint(config):
+    return ("v1", config)
+
+
+def compute(config, tuning):
+    return (config, tuning)
+
+
+def warm(cache, config, tuning):
+    cache.put(fingerprint(config), compute(config, tuning))  # BAD: 'tuning' hidden

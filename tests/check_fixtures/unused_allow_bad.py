@@ -1,0 +1,10 @@
+# repro: module=repro.sim.fixture_unused
+"""Seeded mutant: a stale allow and an allow naming an unknown rule."""
+
+
+def clean():  # repro: allow[det-wallclock] stale: nothing here touches the clock
+    return 1
+
+
+def also_clean():  # repro: allow[det-wallclok] typo'd rule id
+    return 2

@@ -1,0 +1,88 @@
+"""Fixture-driven tests of the async-* event-loop safety family.
+
+Each seeded mutant must fire exactly its one rule at exactly its
+planted line; the good fixture mirrors every sanctioned serve-core
+idiom and must stay silent.  Findings are selected down to the family
+(plus fp-*) because the fixtures pretend to live in ``repro.serve``,
+where determinism/purity rules also have opinions about ``time`` and
+``asyncio`` imports — those are covered by their own fixture corpus.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import analyze_paths
+
+pytestmark = pytest.mark.check
+
+FIXTURES = Path(__file__).resolve().parent / "check_fixtures"
+
+ASYNC_RULES = frozenset({
+    "async-atomicity", "async-blocking", "async-orphan-task",
+    "async-unbounded",
+})
+
+
+def async_findings(name):
+    findings = analyze_paths([FIXTURES / name], rules=ASYNC_RULES)
+    return [(f.rule, f.line) for f in findings]
+
+
+def fixture_line(name, needle):
+    for lineno, line in enumerate(
+        (FIXTURES / name).read_text().splitlines(), start=1
+    ):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in {name}")
+
+
+def test_atomicity_mutant_fires_at_the_stale_write():
+    assert async_findings("async_atomicity_bad.py") == [
+        ("async-atomicity",
+         fixture_line("async_atomicity_bad.py", "self.total = seen + 1")),
+    ]
+
+
+def test_blocking_mutant_fires_on_primitive_and_entry_point():
+    assert async_findings("async_blocking_bad.py") == [
+        ("async-blocking",
+         fixture_line("async_blocking_bad.py", "time.sleep(0.01)")),
+        ("async-blocking",
+         fixture_line("async_blocking_bad.py",
+                      "execute_with_policy(requests, policy)")),
+    ]
+
+
+def test_orphan_task_mutant_fires_at_the_spawn():
+    assert async_findings("async_orphan_bad.py") == [
+        ("async-orphan-task",
+         fixture_line("async_orphan_bad.py", "asyncio.create_task")),
+    ]
+
+
+def test_unbounded_queue_mutant_fires_at_the_constructor():
+    assert async_findings("async_unbounded_bad.py") == [
+        ("async-unbounded",
+         fixture_line("async_unbounded_bad.py", "asyncio.Queue()")),
+    ]
+
+
+def test_sanctioned_serve_idioms_stay_silent():
+    # Coalescing-future probe, to_thread by reference, bounded queue,
+    # parked task, constant-RHS cleanup: all clean.
+    assert async_findings("async_good.py") == []
+
+
+def test_family_is_scoped_to_the_serving_layer():
+    # The same blocking mutant relocated into a worker-side package
+    # must not fire: time.sleep in a retry loop there is the point.
+    source = (FIXTURES / "async_blocking_bad.py").read_text().replace(
+        "# repro: module=repro.serve.fixture_blocking",
+        "# repro: module=repro.exec.fixture_blocking",
+    )
+    from repro.check import analyze_source
+
+    findings = analyze_source(source, rules=ASYNC_RULES)
+    assert findings == []

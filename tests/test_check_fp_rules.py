@@ -1,0 +1,103 @@
+"""Fixture-driven tests of the fp-* fingerprint-completeness family.
+
+Each mutant plants one divergence between a cache key and the value it
+stores; each must fire exactly its rule at the ``put`` call.  The good
+fixture proves a complete fingerprint plus benign retry plumbing stays
+silent, and the scope test proves the family only has opinions inside
+the cache-owning packages.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import analyze_paths, analyze_source
+
+pytestmark = pytest.mark.check
+
+FIXTURES = Path(__file__).resolve().parent / "check_fixtures"
+
+FP_RULES = frozenset({
+    "fp-unsalted-input", "fp-dead-salt", "fp-env-behind-cache",
+})
+
+
+def fp_findings(name):
+    findings = analyze_paths([FIXTURES / name], rules=FP_RULES)
+    return [(f.rule, f.line) for f in findings]
+
+
+def fixture_line(name, needle):
+    for lineno, line in enumerate(
+        (FIXTURES / name).read_text().splitlines(), start=1
+    ):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in {name}")
+
+
+def test_unsalted_tunable_fires_at_the_put():
+    line = fixture_line("fp_unsalted_bad.py", "cache.put(")
+    assert fp_findings("fp_unsalted_bad.py") == [
+        ("fp-unsalted-input", line),
+    ]
+    (finding,) = analyze_paths(
+        [FIXTURES / "fp_unsalted_bad.py"], rules=FP_RULES
+    )
+    assert "'tuning'" in finding.message
+
+
+def test_env_read_behind_the_boundary_fires_at_the_put():
+    line = fixture_line("fp_env_bad.py", "cache.put(")
+    assert fp_findings("fp_env_bad.py") == [
+        ("fp-env-behind-cache", line),
+    ]
+    (finding,) = analyze_paths([FIXTURES / "fp_env_bad.py"], rules=FP_RULES)
+    # The message names both the env chain and the function hiding it.
+    assert "os.environ" in finding.message and "compute" in finding.message
+
+
+def test_dead_salt_fires_at_the_put():
+    line = fixture_line("fp_dead_salt_bad.py", "cache.put(")
+    assert fp_findings("fp_dead_salt_bad.py") == [
+        ("fp-dead-salt", line),
+    ]
+    (finding,) = analyze_paths(
+        [FIXTURES / "fp_dead_salt_bad.py"], rules=FP_RULES
+    )
+    assert "'legacy'" in finding.message
+
+
+def test_complete_fingerprint_with_benign_plumbing_stays_silent():
+    assert fp_findings("fp_good.py") == []
+
+
+def test_family_is_scoped_to_cache_owning_packages():
+    # The same unsalted mutant in a package without a content-addressed
+    # store (the serving layer keys on exec fingerprints upstream) is
+    # out of scope.
+    source = (FIXTURES / "fp_unsalted_bad.py").read_text().replace(
+        "# repro: module=repro.exec.fixture_unsalted",
+        "# repro: module=repro.serve.fixture_unsalted",
+    )
+    assert analyze_source(source, rules=FP_RULES) == []
+
+
+def test_unused_suppression_mutants():
+    findings = analyze_paths([FIXTURES / "unused_allow_bad.py"])
+    got = [(f.rule, f.line) for f in findings]
+    stale = fixture_line("unused_allow_bad.py", "allow[det-wallclock]")
+    typo = fixture_line("unused_allow_bad.py", "allow[det-wallclok]")
+    assert got == [
+        ("unused-suppression", stale),
+        ("unused-suppression", typo),
+    ]
+    # Under a --rules selection that excludes det-wallclock, the stale
+    # allow is out of scope today — but the unknown id always fires.
+    narrowed = analyze_paths(
+        [FIXTURES / "unused_allow_bad.py"],
+        rules=frozenset({"unused-suppression", "fp-dead-salt"}),
+    )
+    assert [(f.rule, f.line) for f in narrowed] == [
+        ("unused-suppression", typo),
+    ]

@@ -141,9 +141,12 @@ def test_cache_good_fixture_is_clean():
 def test_inline_suppressions():
     found = rules_with_lines("suppressed.py")
     # Trailing and standalone allow comments silence their rule; an
-    # allow[] naming a different rule does not.
+    # allow[] naming a different rule does not — and, since it then
+    # suppresses nothing, it is itself flagged by the hygiene rule.
+    mismatched = fixture_line("suppressed.py", "allow[pure-socket]")
     assert found == [
-        ("det-wallclock", fixture_line("suppressed.py", "allow[pure-socket]"))
+        ("det-wallclock", mismatched),
+        ("unused-suppression", mismatched),
     ]
 
 

@@ -1,0 +1,46 @@
+"""Repo hygiene: build artifacts never enter the tree.
+
+``__pycache__`` directories appear anywhere the interpreter imports
+from (``src/repro/serve/`` included); one accidental ``git add -A``
+would commit interpreter-version-specific bytecode that churns on
+every run.  The .gitignore rule plus this tracked-file audit keep that
+structurally impossible.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_ls_files():
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if proc.returncode != 0:
+        pytest.skip("not a git checkout")
+    return proc.stdout.splitlines()
+
+
+def test_no_bytecode_artifacts_are_tracked():
+    tracked = _git_ls_files()
+    offenders = [
+        f for f in tracked
+        if "__pycache__" in f or f.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == []
+
+
+def test_gitignore_covers_pycache_and_pyc():
+    rules = (ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in rules
+    assert "*.pyc" in rules

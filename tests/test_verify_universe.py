@@ -92,6 +92,11 @@ def test_entry_key_tracks_every_exploration_input():
     assert entry_key("mpich", spec, (1, 3), 32, True) != base
     assert entry_key("mpich", spec, (1, 2), 16, True) != base
     assert entry_key("mpich", spec, (1, 2), 32, False) != base
+    # Replay confirmation shapes the stored verdict (engine traces on
+    # counterexamples), so it is part of the key; the default matches
+    # positional callers.
+    assert entry_key("mpich", spec, (1, 2), 32, True, with_replay=True) == base
+    assert entry_key("mpich", spec, (1, 2), 32, True, with_replay=False) != base
 
 
 def test_corrupt_cache_entry_degrades_to_a_miss(tmp_path):
